@@ -1,0 +1,320 @@
+//! IEEE-754 single-precision soft-float subroutines in the base ISA.
+//!
+//! The paper's Imple 1 baseline — "the standard pure software
+//! implementation on the base PISA core" — spends almost all of its
+//! 3.6 M cycles in compiler-supplied floating-point emulation. This
+//! module generates that emulation: `__mulsf3`, `__addsf3` and
+//! `__subsf3` routines implementing round-to-nearest-even with
+//! flush-to-zero of subnormals, mirroring [`afft_num::ieee754`]
+//! operation-for-operation (and therefore bit-exact against the host
+//! FPU for normal values — asserted by tests that execute the routines
+//! on the ISS).
+//!
+//! Calling convention: arguments in `a0`/`a1`, result in `v0`; the
+//! routines are leaves clobbering `t0..t9`, `v1` and `at` only.
+
+use afft_isa::{Asm, Instr, Reg};
+
+/// Label of the multiply routine.
+pub const MULSF: &str = "__mulsf3";
+/// Label of the add routine.
+pub const ADDSF: &str = "__addsf3";
+/// Label of the subtract routine (negates `a1`, falls into add).
+pub const SUBSF: &str = "__subsf3";
+
+const A0: Reg = Reg::A0;
+const A1: Reg = Reg::A1;
+const V0: Reg = Reg::V0;
+const V1: Reg = Reg::V1;
+const T0: Reg = Reg::T0;
+const T1: Reg = Reg::T1;
+const T2: Reg = Reg::T2;
+const T3: Reg = Reg::T3;
+const T4: Reg = Reg::T4;
+const T5: Reg = Reg::T5;
+const T6: Reg = Reg::T6;
+const T7: Reg = Reg::T7;
+const T8: Reg = Reg::T8;
+const T9: Reg = Reg::T9;
+
+/// Emits all three routines at the current position. Call once per
+/// program; the labels [`MULSF`], [`ADDSF`], [`SUBSF`] become `jal`
+/// targets.
+pub fn emit_softfloat_lib(a: &mut Asm) {
+    emit_mulsf(a);
+    emit_subsf_addsf(a);
+}
+
+/// Emits `__mulsf3`.
+fn emit_mulsf(a: &mut Asm) {
+    use Instr::*;
+    a.label(MULSF);
+    // Sign of the result.
+    a.emit(Xor { rd: V1, rs: A0, rt: A1 });
+    a.emit(Lui { rt: T9, imm: 0x8000 });
+    a.emit(And { rd: V1, rs: V1, rt: T9 });
+    // Exponents.
+    a.emit(Srl { rd: T0, rt: A0, shamt: 23 });
+    a.emit(Andi { rt: T0, rs: T0, imm: 0xff });
+    a.emit(Srl { rd: T1, rt: A1, shamt: 23 });
+    a.emit(Andi { rt: T1, rs: T1, imm: 0xff });
+    // Zero / subnormal operands flush the product to signed zero.
+    a.beq_to(T0, Reg::ZERO, "mul_ret_zero");
+    a.beq_to(T1, Reg::ZERO, "mul_ret_zero");
+    // Mantissas with the implicit one.
+    a.emit(Lui { rt: T8, imm: 0x007f });
+    a.emit(Ori { rt: T8, rs: T8, imm: 0xffff }); // 0x007f_ffff
+    a.emit(Lui { rt: T7, imm: 0x0080 }); // implicit one
+    a.emit(And { rd: T2, rs: A0, rt: T8 });
+    a.emit(Or { rd: T2, rs: T2, rt: T7 });
+    a.emit(And { rd: T3, rs: A1, rt: T8 });
+    a.emit(Or { rd: T3, rs: T3, rt: T7 });
+    // Biased exponent of the product.
+    a.emit(Add { rd: T0, rs: T0, rt: T1 });
+    a.emit(Addi { rt: T0, rs: T0, imm: -127 });
+    // 48-bit product hi:lo.
+    a.emit(Mul { rd: T4, rs: T2, rt: T3 });
+    a.emit(Mulhu { rd: T5, rs: T2, rt: T3 });
+    // man = prod >> 20 (27-or-28-bit), sticky from the dropped bits.
+    a.emit(Sll { rd: T6, rt: T5, shamt: 12 });
+    a.emit(Srl { rd: T1, rt: T4, shamt: 20 });
+    a.emit(Or { rd: T6, rs: T6, rt: T1 });
+    a.emit(Lui { rt: T1, imm: 0x000f });
+    a.emit(Ori { rt: T1, rs: T1, imm: 0xffff }); // 0x000f_ffff
+    a.emit(And { rd: T1, rs: T4, rt: T1 });
+    a.beq_to(T1, Reg::ZERO, "mul_pack");
+    a.emit(Ori { rt: T6, rs: T6, imm: 1 });
+    a.label("mul_pack");
+    emit_pack_round(a, "mul");
+    a.emit(Jr { rs: Reg::RA });
+    a.label("mul_ret_zero");
+    a.mv(V0, V1);
+    a.emit(Jr { rs: Reg::RA });
+}
+
+/// Emits `__subsf3` falling into `__addsf3`.
+fn emit_subsf_addsf(a: &mut Asm) {
+    use Instr::*;
+    a.label(SUBSF);
+    a.emit(Lui { rt: T9, imm: 0x8000 });
+    a.emit(Xor { rd: A1, rs: A1, rt: T9 });
+    a.label(ADDSF);
+    a.emit(Lui { rt: T9, imm: 0x8000 });
+    // Exponents; flush subnormal operands to signed zero.
+    a.emit(Srl { rd: T0, rt: A0, shamt: 23 });
+    a.emit(Andi { rt: T0, rs: T0, imm: 0xff });
+    a.emit(Srl { rd: T1, rt: A1, shamt: 23 });
+    a.emit(Andi { rt: T1, rs: T1, imm: 0xff });
+    a.bne_to(T0, Reg::ZERO, "add_a_ok");
+    a.emit(And { rd: A0, rs: A0, rt: T9 });
+    a.label("add_a_ok");
+    a.bne_to(T1, Reg::ZERO, "add_b_ok");
+    a.emit(And { rd: A1, rs: A1, rt: T9 });
+    a.label("add_b_ok");
+    // Zero operands.
+    a.emit(Sll { rd: T2, rt: A0, shamt: 1 });
+    a.bne_to(T2, Reg::ZERO, "add_a_nonzero");
+    a.emit(Sll { rd: T3, rt: A1, shamt: 1 });
+    a.bne_to(T3, Reg::ZERO, "add_ret_b");
+    a.emit(And { rd: V0, rs: A0, rt: A1 }); // +0 unless both -0
+    a.emit(Jr { rs: Reg::RA });
+    a.label("add_ret_b");
+    a.mv(V0, A1);
+    a.emit(Jr { rs: Reg::RA });
+    a.label("add_a_nonzero");
+    a.emit(Sll { rd: T3, rt: A1, shamt: 1 });
+    a.bne_to(T3, Reg::ZERO, "add_both");
+    a.mv(V0, A0);
+    a.emit(Jr { rs: Reg::RA });
+    a.label("add_both");
+    // Order so |a0| >= |a1| (compare magnitudes via logical-shifted
+    // bit patterns; swap operands and exponents if needed).
+    a.emit(Sltu { rd: T4, rs: T2, rt: T3 });
+    a.beq_to(T4, Reg::ZERO, "add_ordered");
+    a.emit(Xor { rd: A0, rs: A0, rt: A1 });
+    a.emit(Xor { rd: A1, rs: A0, rt: A1 });
+    a.emit(Xor { rd: A0, rs: A0, rt: A1 });
+    a.emit(Xor { rd: T0, rs: T0, rt: T1 });
+    a.emit(Xor { rd: T1, rs: T0, rt: T1 });
+    a.emit(Xor { rd: T0, rs: T0, rt: T1 });
+    a.label("add_ordered");
+    // Mantissas with implicit one, pre-shifted by the 3 guard bits.
+    a.emit(Lui { rt: T8, imm: 0x007f });
+    a.emit(Ori { rt: T8, rs: T8, imm: 0xffff });
+    a.emit(Lui { rt: T7, imm: 0x0080 });
+    a.emit(And { rd: T5, rs: A0, rt: T8 });
+    a.emit(Or { rd: T5, rs: T5, rt: T7 });
+    a.emit(Sll { rd: T5, rt: T5, shamt: 3 });
+    a.emit(And { rd: T6, rs: A1, rt: T8 });
+    a.emit(Or { rd: T6, rs: T6, rt: T7 });
+    a.emit(Sll { rd: T6, rt: T6, shamt: 3 });
+    // Alignment shift, clamped to 31.
+    a.emit(Sub { rd: T2, rs: T0, rt: T1 });
+    a.emit(Slti { rt: T3, rs: T2, imm: 32 });
+    a.bne_to(T3, Reg::ZERO, "add_noclamp");
+    a.li(T2, 31);
+    a.label("add_noclamp");
+    // Sticky-collecting right shift of the smaller mantissa.
+    a.li(T4, 1);
+    a.emit(Sllv { rd: T4, rt: T4, rs: T2 });
+    a.emit(Addi { rt: T4, rs: T4, imm: -1 });
+    a.emit(And { rd: T4, rs: T6, rt: T4 });
+    a.emit(Srlv { rd: T6, rt: T6, rs: T2 });
+    a.beq_to(T4, Reg::ZERO, "add_shifted");
+    a.emit(Ori { rt: T6, rs: T6, imm: 1 });
+    a.label("add_shifted");
+    // Result sign = sign of the larger operand.
+    a.emit(And { rd: V1, rs: A0, rt: T9 });
+    a.emit(Xor { rd: T3, rs: A0, rt: A1 });
+    a.emit(And { rd: T3, rs: T3, rt: T9 });
+    a.beq_to(T3, Reg::ZERO, "add_same_sign");
+    a.emit(Sub { rd: T6, rs: T5, rt: T6 });
+    a.bne_to(T6, Reg::ZERO, "add_pack");
+    a.li(V0, 0); // exact cancellation -> +0
+    a.emit(Jr { rs: Reg::RA });
+    a.label("add_same_sign");
+    a.emit(Add { rd: T6, rs: T5, rt: T6 });
+    a.label("add_pack");
+    emit_pack_round(a, "add");
+    a.emit(Jr { rs: Reg::RA });
+}
+
+/// Emits the shared normalise/round/pack tail. Inputs: mantissa with 3
+/// guard bits in `t6` (non-zero), biased exponent in `t0`, sign bit in
+/// `v1`. Output in `v0`. Clobbers `t1..t3`.
+fn emit_pack_round(a: &mut Asm, prefix: &str) {
+    use Instr::*;
+    let l = |s: &str| format!("{prefix}_{s}");
+    // Normalise down: while man >= 2^27, sticky-shift right.
+    a.label(&l("norm_dn"));
+    a.emit(Lui { rt: T1, imm: 0x0800 }); // 2^27
+    a.emit(Sltu { rd: T2, rs: T6, rt: T1 });
+    a.bne_to(T2, Reg::ZERO, &l("norm_up"));
+    a.emit(Andi { rt: T3, rs: T6, imm: 1 });
+    a.emit(Srl { rd: T6, rt: T6, shamt: 1 });
+    a.emit(Or { rd: T6, rs: T6, rt: T3 });
+    a.emit(Addi { rt: T0, rs: T0, imm: 1 });
+    a.j_to(&l("norm_dn"));
+    // Normalise up: while man < 2^26, shift left.
+    a.label(&l("norm_up"));
+    a.emit(Lui { rt: T1, imm: 0x0400 }); // 2^26
+    a.emit(Sltu { rd: T2, rs: T6, rt: T1 });
+    a.beq_to(T2, Reg::ZERO, &l("round"));
+    a.emit(Sll { rd: T6, rt: T6, shamt: 1 });
+    a.emit(Addi { rt: T0, rs: T0, imm: -1 });
+    a.j_to(&l("norm_up"));
+    // Round to nearest even on the 3 guard bits.
+    a.label(&l("round"));
+    a.emit(Andi { rt: T1, rs: T6, imm: 4 }); // guard
+    a.emit(Srl { rd: T3, rt: T6, shamt: 3 }); // 24-bit mantissa
+    a.beq_to(T1, Reg::ZERO, &l("rounded"));
+    a.emit(Andi { rt: T2, rs: T6, imm: 3 }); // round|sticky
+    a.bne_to(T2, Reg::ZERO, &l("inc"));
+    a.emit(Andi { rt: T2, rs: T3, imm: 1 }); // lsb (ties-to-even)
+    a.beq_to(T2, Reg::ZERO, &l("rounded"));
+    a.label(&l("inc"));
+    a.emit(Addi { rt: T3, rs: T3, imm: 1 });
+    a.emit(Lui { rt: T1, imm: 0x0100 }); // 2^24
+    a.bne_to(T3, T1, &l("rounded"));
+    a.emit(Srl { rd: T3, rt: T3, shamt: 1 });
+    a.emit(Addi { rt: T0, rs: T0, imm: 1 });
+    a.label(&l("rounded"));
+    // Flush / overflow / pack.
+    a.blez_to(T0, &l("zero"));
+    a.emit(Slti { rt: T1, rs: T0, imm: 255 });
+    a.beq_to(T1, Reg::ZERO, &l("inf"));
+    a.emit(Sll { rd: T0, rt: T0, shamt: 23 });
+    a.emit(Lui { rt: T1, imm: 0x007f });
+    a.emit(Ori { rt: T1, rs: T1, imm: 0xffff });
+    a.emit(And { rd: T3, rs: T3, rt: T1 });
+    a.emit(Or { rd: V0, rs: V1, rt: T0 });
+    a.emit(Or { rd: V0, rs: V0, rt: T3 });
+    a.j_to(&l("done"));
+    a.label(&l("zero"));
+    a.mv(V0, V1);
+    a.j_to(&l("done"));
+    a.label(&l("inf"));
+    a.emit(Lui { rt: T1, imm: 0x7f80 });
+    a.emit(Or { rd: V0, rs: V1, rt: T1 });
+    a.label(&l("done"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afft_num::ieee754;
+    use afft_sim::{Machine, MachineConfig};
+
+    /// Runs one soft-float operation on the ISS.
+    fn run_op(entry: &str, x: u32, y: u32) -> u32 {
+        let mut a = Asm::new();
+        // Load operands (full 32-bit constants), call, halt.
+        a.emit(Instr::Lui { rt: A0, imm: (x >> 16) as u16 });
+        a.emit(Instr::Ori { rt: A0, rs: A0, imm: x as u16 });
+        a.emit(Instr::Lui { rt: A1, imm: (y >> 16) as u16 });
+        a.emit(Instr::Ori { rt: A1, rs: A1, imm: y as u16 });
+        a.jal_to(entry);
+        a.emit(Instr::Halt);
+        emit_softfloat_lib(&mut a);
+        let mut m = Machine::new(MachineConfig::default());
+        m.load_program(a.assemble().expect("softfloat lib assembles"));
+        m.run(100_000).expect("softfloat op runs");
+        m.reg(V0)
+    }
+
+    fn grid() -> Vec<f32> {
+        let mut v = vec![0.0f32, 1.0, -1.0, 0.5, -0.5, 1.5, 3.25, -7.875, 0.1, -0.2, 100.25];
+        for e in [-10, -3, 3, 10] {
+            v.push(1.7f32 * 2f32.powi(e));
+            v.push(-0.9f32 * 2f32.powi(e));
+        }
+        v
+    }
+
+    #[test]
+    fn mul_matches_spec_on_grid() {
+        for &x in &grid() {
+            for &y in &grid() {
+                let want = ieee754::mul(x.to_bits(), y.to_bits());
+                let got = run_op(MULSF, x.to_bits(), y.to_bits());
+                assert_eq!(got, want, "mul({x}, {y}): got {got:#010x} want {want:#010x}");
+            }
+        }
+    }
+
+    #[test]
+    fn add_matches_spec_on_grid() {
+        for &x in &grid() {
+            for &y in &grid() {
+                let want = ieee754::add(x.to_bits(), y.to_bits());
+                let got = run_op(ADDSF, x.to_bits(), y.to_bits());
+                assert_eq!(got, want, "add({x}, {y}): got {got:#010x} want {want:#010x}");
+            }
+        }
+    }
+
+    #[test]
+    fn sub_matches_spec_on_sample() {
+        for (x, y) in [(1.5f32, 0.25f32), (-3.0, 7.5), (0.1, 0.1), (1e-4, 2e-4)] {
+            let want = ieee754::sub(x.to_bits(), y.to_bits());
+            let got = run_op(SUBSF, x.to_bits(), y.to_bits());
+            assert_eq!(got, want, "sub({x}, {y})");
+        }
+    }
+
+    #[test]
+    fn routines_cost_realistic_cycles() {
+        // The -O0 soft-float regime of the paper's Imple 1: tens of
+        // cycles per operation.
+        let mut a = Asm::new();
+        a.emit(Instr::Lui { rt: A0, imm: 0x3fc0 }); // 1.5
+        a.emit(Instr::Lui { rt: A1, imm: 0x4010 }); // 2.25
+        a.jal_to(MULSF);
+        a.emit(Instr::Halt);
+        emit_softfloat_lib(&mut a);
+        let mut m = Machine::new(MachineConfig::default());
+        m.load_program(a.assemble().unwrap());
+        let s = m.run(10_000).unwrap();
+        assert!(s.cycles > 30 && s.cycles < 200, "cycles {}", s.cycles);
+    }
+}

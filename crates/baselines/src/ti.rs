@@ -1,0 +1,135 @@
+//! Imple 2: the TI TMS320C6713 VLIW model.
+//!
+//! The C6713 is an 8-issue VLIW (2 LD/ST, 2 multiply, 4 ALU/branch
+//! slots) running a hand-pipelined single-precision FFT. The paper
+//! characterises it as "about 4 cycles per butterfly after software
+//! pipelining"; the limiting resources are the two LD/ST slots (5
+//! memory operations per butterfly: 2 data loads, 1 twiddle load, 2
+//! stores => ceil(5/2) issue groups) and the small on-chip L1D that the
+//! 8-byte float points thrash.
+//!
+//! The model replays the butterfly-ordered address trace (float data +
+//! float twiddle table) through the L1D and issues butterflies at the
+//! software-pipelined rate, with cache misses stalling at an overlapped
+//! (pipelined-L2) cost.
+
+use crate::BaselineRun;
+use afft_sim::{Cache, CacheConfig};
+
+/// Parameters of the C6713 model.
+#[derive(Debug, Clone, Copy)]
+pub struct TiConfig {
+    /// L1 data cache (4 KB 2-way on the C671x family).
+    pub cache: CacheConfig,
+    /// Steady-state issue cycles per butterfly after pipelining.
+    pub cycles_per_butterfly: u64,
+    /// Effective stall per miss; L2 hits are pipelined so consecutive
+    /// misses overlap (expressed in tenths of a cycle).
+    pub miss_stall_tenths: u64,
+    /// Pipeline fill/drain + loop setup per stage.
+    pub stage_overhead: u64,
+}
+
+impl Default for TiConfig {
+    fn default() -> Self {
+        TiConfig {
+            cache: CacheConfig::ti_4k(),
+            cycles_per_butterfly: 4,
+            miss_stall_tenths: 5,
+            stage_overhead: 30,
+        }
+    }
+}
+
+/// Runs the Imple-2 model for an `n`-point single-precision FFT.
+///
+/// # Panics
+///
+/// Panics unless `n` is a power of two `>= 4`.
+pub fn run_ti_fft(n: usize, cfg: &TiConfig) -> BaselineRun {
+    assert!(n.is_power_of_two() && n >= 4, "ti model: invalid n {n}");
+    let stages = n.trailing_zeros();
+    let mut cache = Cache::new(cfg.cache);
+    let data_base = 0x0u32;
+    let tw_base = (8 * n) as u32; // float twiddles right after the data
+    let point = 8u32; // complex float
+    let mut loads = 0u64;
+    let mut stores = 0u64;
+    let mut cycles = 0u64;
+    let mut stall_tenths = 0u64;
+
+    for j in 1..=stages {
+        let dist = 1usize << (stages - j);
+        let block = dist * 2;
+        cycles += cfg.stage_overhead;
+        for start in (0..n).step_by(block) {
+            for k in 0..dist {
+                let a_addr = data_base + point * (start + k) as u32;
+                let b_addr = data_base + point * (start + k + dist) as u32;
+                let e = (k % dist) << (j - 1);
+                let w_addr = tw_base + point * e as u32;
+                for (addr, write) in [
+                    (a_addr, false),
+                    (b_addr, false),
+                    (w_addr, false),
+                    (a_addr, true),
+                    (b_addr, true),
+                ] {
+                    if write {
+                        stores += 1;
+                    } else {
+                        loads += 1;
+                    }
+                    if !cache.access(addr, write).hit {
+                        stall_tenths += cfg.miss_stall_tenths;
+                    }
+                }
+                cycles += cfg.cycles_per_butterfly;
+            }
+        }
+    }
+    cycles += stall_tenths / 10;
+    BaselineRun { cycles, loads, stores, cache: cache.stats() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn butterfly_rate_dominates() {
+        let n = 1024u64;
+        let r = run_ti_fft(n as usize, &TiConfig::default());
+        let butterflies = n / 2 * 10;
+        assert!(r.cycles >= butterflies * 4);
+        // Paper: 24976 cycles for 1024 points.
+        assert!((20_000..35_000).contains(&r.cycles), "cycles {}", r.cycles);
+    }
+
+    #[test]
+    fn small_cache_thrashes() {
+        // 8 KB of data + 8 KB of twiddles through a 4 KB L1D: the miss
+        // count must be in the paper's thousands-regime (9944).
+        let r = run_ti_fft(1024, &TiConfig::default());
+        assert!(r.cache_misses() > 3_000, "misses {}", r.cache_misses());
+        assert!(r.cache_misses() < 20_000, "misses {}", r.cache_misses());
+    }
+
+    #[test]
+    fn op_counts_are_five_per_butterfly() {
+        let n = 256;
+        let r = run_ti_fft(n, &TiConfig::default());
+        let b = (n as u64 / 2) * 8;
+        assert_eq!(r.loads, 3 * b);
+        assert_eq!(r.stores, 2 * b);
+    }
+
+    #[test]
+    fn bigger_cache_removes_thrashing() {
+        let cfg = TiConfig { cache: CacheConfig::pisa_32k(), ..TiConfig::default() };
+        let small = run_ti_fft(1024, &TiConfig::default());
+        let big = run_ti_fft(1024, &cfg);
+        assert!(big.cache_misses() * 4 < small.cache_misses());
+        assert!(big.cycles < small.cycles);
+    }
+}

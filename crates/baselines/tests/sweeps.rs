@@ -1,0 +1,57 @@
+//! Scaling behaviour of the baseline models across transform sizes:
+//! the regularities Table II's single column implies.
+
+use afft_baselines::{ti, xtensa};
+
+#[test]
+fn ti_cycles_scale_with_n_log_n() {
+    let cfg = ti::TiConfig::default();
+    let mut prev_per_bfly = f64::INFINITY;
+    for n in [128usize, 512, 2048] {
+        let r = ti::run_ti_fft(n, &cfg);
+        let butterflies = (n / 2) as f64 * (n.trailing_zeros() as f64);
+        let per = r.cycles as f64 / butterflies;
+        // Per-butterfly cost stays in the pipelined band (4..8 cycles
+        // once miss stalls are folded in) and does not blow up with N.
+        assert!((4.0..8.0).contains(&per), "n={n}: {per} cycles/butterfly");
+        // And the amortised cost is non-increasing +/- noise.
+        assert!(per < prev_per_bfly * 1.3, "n={n}");
+        prev_per_bfly = per;
+    }
+}
+
+#[test]
+fn xtensa_is_memory_bound_at_every_size() {
+    let cfg = xtensa::XtensaConfig::default();
+    for n in [64usize, 256, 1024, 4096] {
+        let r = xtensa::run_xtensa_fft(n, &cfg);
+        let mem_ops = r.loads + r.stores;
+        assert!(r.cycles >= mem_ops, "n={n}: compute leaked past the LSU");
+        assert!(r.cycles < mem_ops + mem_ops / 2, "n={n}: too much non-memory time");
+    }
+}
+
+#[test]
+fn op_count_closed_forms_hold_across_sizes() {
+    for n in [64usize, 128, 1024, 4096] {
+        let log2n = n.trailing_zeros() as u64;
+        let xt = xtensa::run_xtensa_fft(n, &xtensa::XtensaConfig::default());
+        assert_eq!(xt.loads, (n as u64 / 2) * log2n, "xtensa loads n={n}");
+        assert_eq!(xt.stores, (n as u64 / 2) * log2n, "xtensa stores n={n}");
+        let t = ti::run_ti_fft(n, &ti::TiConfig::default());
+        assert_eq!(t.loads, 3 * (n as u64 / 2) * log2n, "ti loads n={n}");
+        assert_eq!(t.stores, 2 * (n as u64 / 2) * log2n, "ti stores n={n}");
+    }
+}
+
+#[test]
+fn ti_misses_grow_once_the_l1d_overflows() {
+    let cfg = ti::TiConfig::default();
+    // 256-point float data (2 KB data + 1 KB twiddles) fits the 4 KB
+    // L1D: only compulsory misses. 1024-point (8 KB + 4 KB) thrashes.
+    let small = ti::run_ti_fft(256, &cfg);
+    let big = ti::run_ti_fft(1024, &cfg);
+    let small_rate = small.cache_misses() as f64 / small.cache.accesses as f64;
+    let big_rate = big.cache_misses() as f64 / big.cache.accesses as f64;
+    assert!(big_rate > 5.0 * small_rate, "thrashing must show: {small_rate} -> {big_rate}");
+}

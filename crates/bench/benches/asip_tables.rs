@@ -1,0 +1,74 @@
+//! Criterion benches behind the paper's tables: each bench measures
+//! the *simulation* of one table cell, so `cargo bench` regenerates
+//! the cycle observables (printed once per bench) alongside host-side
+//! timings.
+//!
+//! * `table1/<N>` — the array-ASIP run of Table I per size;
+//! * `table2/<impl>` — the four Table II implementations at 1024
+//!   points (Imple 1 is benched at 256 points to keep iteration time
+//!   sane; its 1024-point cycle count is produced by the `table2`
+//!   binary).
+
+use afft_asip::runner::{run_array_fft, AsipConfig};
+use afft_asip::swfft::run_software_fft;
+use afft_baselines::{ti, xtensa};
+use afft_bench::workload::{random_signal, random_signal_q15};
+use afft_core::Direction;
+use afft_sim::Timing;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_asip_cycles");
+    g.sample_size(10);
+    for n in [64usize, 128, 256, 512, 1024] {
+        let input = random_signal_q15(n, n as u64);
+        // Print the observable once so bench logs double as the table.
+        let stats = run_array_fft(&input, Direction::Forward, &AsipConfig::default())
+            .expect("run")
+            .stats;
+        println!(
+            "[table1] N={n}: {} cycles, {:.1} Mbps@300MHz",
+            stats.cycles,
+            stats.throughput_mbps(n, 300.0)
+        );
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                run_array_fft(black_box(&input), Direction::Forward, &AsipConfig::default())
+                    .expect("run")
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_table2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table2_implementations");
+    g.sample_size(10);
+
+    let n = 1024usize;
+    let q15 = random_signal_q15(n, 1);
+    g.bench_function("imple4_array_asip_1024", |b| {
+        b.iter(|| {
+            run_array_fft(black_box(&q15), Direction::Forward, &AsipConfig::default())
+                .expect("run")
+        });
+    });
+    g.bench_function("imple3_xtensa_1024", |b| {
+        b.iter(|| xtensa::run_xtensa_fft(black_box(n), &xtensa::XtensaConfig::default()));
+    });
+    g.bench_function("imple2_ti_1024", |b| {
+        b.iter(|| ti::run_ti_fft(black_box(n), &ti::TiConfig::default()));
+    });
+    let small = random_signal(256, 2);
+    g.bench_function("imple1_soft_float_256", |b| {
+        b.iter(|| {
+            run_software_fft(black_box(&small), Direction::Forward, Timing::default(), 50_000_000)
+                .expect("run")
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_table1, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Criterion benches of the software FFT kernels (host-side
+//! performance of the library itself: golden model, reference FFTs,
+//! cached FFT, address generation).
+
+use afft_bench::workload::random_signal;
+use afft_core::address::stage_butterflies;
+use afft_core::cached::cached_fft;
+use afft_core::reference::{fft_radix2_dit_f64, Direction};
+use afft_core::rom::PrerotTable;
+use afft_core::ArrayFft;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_array_fft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("array_fft_f64");
+    for n in [64usize, 256, 1024, 4096] {
+        let fft: ArrayFft<f64> = ArrayFft::new(n).expect("plan");
+        let x = random_signal(n, n as u64);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| fft.process(black_box(&x), Direction::Forward).expect("process"));
+        });
+    }
+    g.finish();
+}
+
+fn bench_radix2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("radix2_dit_f64");
+    for n in [64usize, 1024, 4096] {
+        let x = random_signal(n, 3);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut d = x.clone();
+                fft_radix2_dit_f64(&mut d, Direction::Forward).expect("fft");
+                black_box(d)
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_cached_fft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cached_fft_baas");
+    for n in [256usize, 1024] {
+        let x = random_signal(n, 5);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| cached_fft(black_box(&x), Direction::Forward).expect("fft"));
+        });
+    }
+    g.finish();
+}
+
+fn bench_address_generation(c: &mut Criterion) {
+    // The AC closed forms: per-stage address generation cost.
+    c.bench_function("ac_stage_butterflies_p6", |b| {
+        b.iter(|| {
+            for j in 1..=6 {
+                black_box(stage_butterflies(6, j));
+            }
+        });
+    });
+    let table: PrerotTable<f64> = PrerotTable::new(1024).expect("table");
+    c.bench_function("prerot_resolve_1024", |b| {
+        b.iter(|| {
+            for e in 0..1024usize {
+                black_box(table.resolve(e));
+            }
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_array_fft,
+    bench_radix2,
+    bench_cached_fft,
+    bench_address_generation
+);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Experiment E5 — numerically verifies the paper's **Fig. 3 matrix
+//! identity** `P_{j+1} B_j = L_j A P_j` (and the conjugation form
+//! `B_j = S_j^{-1} M_j S_j`) for every stage of every supported group
+//! size, and checks that the composed stages equal the DFT matrix.
+
+use afft_core::matrix::{check_conjugation_identity, check_paper_identity, stage_operator, CMatrix};
+use afft_core::reference::Direction;
+
+fn main() {
+    println!("Fig. 3 matrix identities (max |entry| deviation; 0 = identity holds)");
+    println!();
+    println!("{:>4} {:>6} {:>24} {:>24}", "P", "stage", "B = S^-1 M S", "S' B = L M S");
+    let mut worst: f64 = 0.0;
+    for p in 3..=7u32 {
+        for j in 1..=p {
+            let d1 = check_conjugation_identity(p, j);
+            let d2 = if j < p { check_paper_identity(p, j) } else { f64::NAN };
+            worst = worst.max(d1).max(if d2.is_nan() { 0.0 } else { d2 });
+            let d2s = if d2.is_nan() { "-".to_string() } else { format!("{d2:.3e}") };
+            println!("{:>4} {:>6} {:>24.3e} {:>24}", 1 << p, j, d1, d2s);
+        }
+    }
+    println!();
+    println!("worst deviation over all cases: {worst:.3e}");
+
+    // Composition check: product of all stage operators equals R * DFT.
+    for p in [3u32, 4, 5] {
+        let n = 1usize << p;
+        let mut acc = CMatrix::identity(n);
+        for j in 1..=p {
+            acc = stage_operator(p, j, Direction::Forward).matmul(&acc);
+        }
+        let mut want = CMatrix::zeros(n);
+        for a in 0..n {
+            let s = afft_core::bits::bit_reverse(a, p);
+            for m in 0..n {
+                want[(a, m)] = afft_num::twiddle(n, (s * m) % n);
+            }
+        }
+        println!(
+            "stage composition == bit-reversed {n}-point DFT matrix: deviation {:.3e}",
+            acc.max_diff(&want)
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! Experiment E1 — regenerates the paper's **Table I**: cycle count and
+//! data throughput of the array-FFT ASIP across FFT sizes, plus the
+//! 2048/4096-point scalability extension rows.
+
+use afft_asip::runner::{run_array_fft, AsipConfig};
+use afft_bench::paper::TABLE1;
+use afft_bench::{row, workload::random_signal_q15};
+use afft_core::Direction;
+
+fn main() {
+    let widths = [6usize, 12, 12, 14, 12, 14];
+    println!("Table I: data throughput for different FFT sizes (300 MHz clock)");
+    println!(
+        "{}",
+        row(
+            &[
+                "N".into(),
+                "cycles".into(),
+                "Mbps".into(),
+                "paper cycles".into(),
+                "paper Mbps".into(),
+                "cycle ratio".into(),
+            ],
+            &widths
+        )
+    );
+    for n in [64usize, 128, 256, 512, 1024, 2048, 4096] {
+        let input = random_signal_q15(n, n as u64);
+        let run = run_array_fft(&input, Direction::Forward, &AsipConfig::default())
+            .expect("ASIP run failed");
+        let cycles = run.stats.cycles;
+        let mbps = run.stats.throughput_mbps(n, 300.0);
+        let paper = TABLE1.iter().find(|r| r.n == n);
+        let (pc, pm, ratio) = match paper {
+            Some(p) => (
+                p.cycles.to_string(),
+                format!("{:.1}", p.throughput_mbps),
+                format!("{:.2}", cycles as f64 / p.cycles as f64),
+            ),
+            None => ("-".into(), "-".into(), "(ext)".into()),
+        };
+        println!(
+            "{}",
+            row(
+                &[
+                    n.to_string(),
+                    cycles.to_string(),
+                    format!("{mbps:.1}"),
+                    pc,
+                    pm,
+                    ratio,
+                ],
+                &widths
+            )
+        );
+    }
+    println!();
+    println!("shape check: throughput must decrease monotonically with N (paper Section IV)");
+}

@@ -1,0 +1,55 @@
+//! Experiment harnesses: one binary per paper artifact (Table I,
+//! Table II, the Section IV hardware numbers, the Fig. 3 matrix proof)
+//! plus ablation and scaling extensions, and criterion benches over the
+//! same drivers.
+//!
+//! Run them with, e.g.:
+//!
+//! ```text
+//! cargo run -p afft-bench --release --bin table1
+//! cargo run -p afft-bench --release --bin table2
+//! cargo run -p afft-bench --release --bin hwcost
+//! cargo run -p afft-bench --release --bin matrix_proof
+//! cargo run -p afft-bench --release --bin ablation
+//! cargo run -p afft-bench --release --bin scaling
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod paper;
+pub mod workload;
+
+/// Formats a ratio as the paper's "X-factor" improvement strings.
+pub fn factor(ours: f64, other: f64) -> String {
+    if ours <= 0.0 {
+        return "-".to_string();
+    }
+    format!("{:.1}X", other / ours)
+}
+
+/// Render one table row with fixed-width columns.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    let mut out = String::new();
+    for (c, w) in cells.iter().zip(widths) {
+        out.push_str(&format!("{c:>w$}  ", w = w));
+    }
+    out.trim_end().to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factor_formats() {
+        assert_eq!(factor(4168.0, 3_611_551.0), "866.5X");
+        assert_eq!(factor(0.0, 10.0), "-");
+    }
+
+    #[test]
+    fn row_alignment() {
+        let r = row(&["a".into(), "bb".into()], &[3, 4]);
+        assert_eq!(r, "  a    bb");
+    }
+}

@@ -1,0 +1,101 @@
+//! The paper's published numbers, kept next to the harnesses so every
+//! report prints paper-vs-measured side by side.
+
+/// One row of the paper's Table I.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table1Row {
+    /// FFT size.
+    pub n: usize,
+    /// Total cycle count.
+    pub cycles: u64,
+    /// Data throughput in Mbps (6 bit/sample at 300 MHz; see
+    /// EXPERIMENTS.md).
+    pub throughput_mbps: f64,
+}
+
+/// The paper's Table I.
+pub const TABLE1: [Table1Row; 5] = [
+    Table1Row { n: 64, cycles: 197, throughput_mbps: 584.7 },
+    Table1Row { n: 128, cycles: 402, throughput_mbps: 572.2 },
+    Table1Row { n: 256, cycles: 851, throughput_mbps: 540.9 },
+    Table1Row { n: 512, cycles: 1828, throughput_mbps: 502.2 },
+    Table1Row { n: 1024, cycles: 4168, throughput_mbps: 440.6 },
+];
+
+/// One implementation column of the paper's Table II (1024 points).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Table2Col {
+    /// Implementation name.
+    pub name: &'static str,
+    /// Total cycles.
+    pub cycles: u64,
+    /// Load instructions (`None` where the paper reports "-").
+    pub loads: Option<u64>,
+    /// Store instructions.
+    pub stores: Option<u64>,
+    /// Data-cache misses.
+    pub misses: u64,
+}
+
+/// The paper's Table II.
+pub const TABLE2: [Table2Col; 4] = [
+    Table2Col {
+        name: "Imple1 standard SW",
+        cycles: 3_611_551,
+        loads: Some(91_675),
+        stores: Some(91_677),
+        misses: 114_575,
+    },
+    Table2Col { name: "Imple2 TI DSP", cycles: 24_976, loads: None, stores: None, misses: 9_944 },
+    Table2Col {
+        name: "Imple3 Xtensa ASIP",
+        cycles: 9_705,
+        loads: Some(5_494),
+        stores: Some(5_301),
+        misses: 284,
+    },
+    Table2Col {
+        name: "Imple4 array ASIP",
+        cycles: 4_168,
+        loads: Some(1_059),
+        stores: Some(1_192),
+        misses: 106,
+    },
+];
+
+/// Section IV synthesis results.
+pub mod hw {
+    /// BU + AC gate count.
+    pub const BU_AC_GATES: u64 = 17_324;
+    /// CRF + coefficient ROM gate count.
+    pub const CRF_ROM_GATES: u64 = 15_764;
+    /// BU + AC power at 300 MHz, mW.
+    pub const BU_AC_POWER_MW: f64 = 17.68;
+    /// BU critical path, ns.
+    pub const BU_CRITICAL_NS: f64 = 3.2;
+    /// Base PISA core gates (with 32 KB cache).
+    pub const PISA_GATES: u64 = 106_000;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn improvement_factors_reproduce_paper_header() {
+        // 866.5X, 5.9X, 2.3X over Imple 1..3.
+        let ours = TABLE2[3].cycles as f64;
+        assert!((TABLE2[0].cycles as f64 / ours - 866.5).abs() < 0.1);
+        assert!((TABLE2[1].cycles as f64 / ours - 5.99).abs() < 0.1);
+        assert!((TABLE2[2].cycles as f64 / ours - 2.33).abs() < 0.05);
+    }
+
+    #[test]
+    fn table1_throughput_consistent_with_6bit_constant() {
+        for r in TABLE1 {
+            let implied = 6.0 * r.n as f64 * 300.0 / r.cycles as f64;
+            let rel = (implied - r.throughput_mbps).abs() / r.throughput_mbps;
+            assert!(rel < 0.01, "n={}: implied {implied} vs {}", r.n, r.throughput_mbps);
+        }
+    }
+}

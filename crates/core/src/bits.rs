@@ -1,0 +1,302 @@
+//! Bit-manipulation primitives used by the address-changing (AC) logic.
+//!
+//! Everything the AC hardware does is a permutation of address *bits*:
+//! bit reversal (the DIF output reorder `R`), single swaps of adjacent
+//! bit positions (the local rule `L_j`), and their compositions. This
+//! module provides those as pure functions plus the [`BitPerm`] value
+//! type that represents an arbitrary permutation of bit positions.
+
+/// Reverses the low `bits` bits of `x`.
+///
+/// This is the `R` transformation of the paper (Fig. 2): the in-place DIF
+/// group leaves output `s` at CRF address `rev(s)`.
+///
+/// # Panics
+///
+/// Panics if `bits > usize::BITS as usize` or if `x >= 1 << bits`.
+///
+/// # Examples
+///
+/// ```
+/// use afft_core::bits::bit_reverse;
+/// assert_eq!(bit_reverse(0b001, 3), 0b100);
+/// assert_eq!(bit_reverse(0b110, 3), 0b011);
+/// assert_eq!(bit_reverse(0, 0), 0);
+/// ```
+#[inline]
+pub fn bit_reverse(x: usize, bits: u32) -> usize {
+    assert!(bits <= usize::BITS, "bit_reverse: bits={bits} too large");
+    if bits == 0 {
+        assert_eq!(x, 0, "bit_reverse: x={x} out of range for 0 bits");
+        return 0;
+    }
+    assert!(
+        bits == usize::BITS || x < (1usize << bits),
+        "bit_reverse: x={x} out of range for {bits} bits"
+    );
+    x.reverse_bits() >> (usize::BITS - bits)
+}
+
+/// Swaps bit positions `i` and `j` (0 = least significant) of `x`.
+///
+/// # Examples
+///
+/// ```
+/// use afft_core::bits::swap_bits;
+/// assert_eq!(swap_bits(0b100, 2, 0), 0b001);
+/// assert_eq!(swap_bits(0b101, 2, 0), 0b101);
+/// ```
+#[inline]
+pub fn swap_bits(x: usize, i: u32, j: u32) -> usize {
+    let bi = (x >> i) & 1;
+    let bj = (x >> j) & 1;
+    if bi == bj {
+        x
+    } else {
+        x ^ (1 << i) ^ (1 << j)
+    }
+}
+
+/// A permutation of the low `width` bit positions of an address.
+///
+/// `map[k]` gives, for output bit position `k` *counted from the leftmost
+/// (most significant) bit*, the input bit position (same left-counted
+/// convention) it is wired from. Left-counting matches the paper's
+/// notation (`def -> edf` swaps the 1st and 2nd leftmost bits).
+///
+/// # Examples
+///
+/// ```
+/// use afft_core::bits::BitPerm;
+///
+/// // `edf`: output bits (e, d, f) from input labelled (d, e, f).
+/// let p = BitPerm::identity(3).swapped_left(0, 1);
+/// assert_eq!(p.apply(0b100), 0b010); // d=1,e=0,f=0 -> e,d,f = 0,1,0
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BitPerm {
+    map: Vec<u32>,
+}
+
+impl BitPerm {
+    /// The identity permutation on `width` bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width == 0` or `width > 32`.
+    pub fn identity(width: u32) -> Self {
+        assert!(width > 0 && width <= 32, "BitPerm width {width} out of range");
+        BitPerm { map: (0..width).collect() }
+    }
+
+    /// Builds a permutation from an explicit left-indexed map.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `map` is not a permutation of `0..map.len()`.
+    pub fn from_map(map: Vec<u32>) -> Self {
+        let width = map.len() as u32;
+        assert!(width > 0 && width <= 32, "BitPerm width {width} out of range");
+        let mut seen = vec![false; map.len()];
+        for &m in &map {
+            assert!(m < width, "BitPerm entry {m} out of range");
+            assert!(!seen[m as usize], "BitPerm entry {m} duplicated");
+            seen[m as usize] = true;
+        }
+        BitPerm { map }
+    }
+
+    /// Number of bits this permutation acts on.
+    pub fn width(&self) -> u32 {
+        self.map.len() as u32
+    }
+
+    /// The left-indexed wiring map (`map[k]` = source of output bit `k`).
+    pub fn map(&self) -> &[u32] {
+        &self.map
+    }
+
+    /// Returns a copy with left positions `i` and `j` of the *output*
+    /// swapped — this is how the cumulative stage permutation `sigma_j`
+    /// is built from `sigma_{j-1}` (the paper's local rule `L_j`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of range.
+    pub fn swapped_left(&self, i: u32, j: u32) -> Self {
+        let w = self.width();
+        assert!(i < w && j < w, "swapped_left: positions {i},{j} out of range");
+        let mut map = self.map.clone();
+        map.swap(i as usize, j as usize);
+        BitPerm { map }
+    }
+
+    /// Applies the permutation to a value: output left-bit `k` equals
+    /// input left-bit `map[k]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x >= 1 << width`.
+    pub fn apply(&self, x: usize) -> usize {
+        let w = self.width();
+        assert!(x < (1usize << w), "BitPerm::apply: {x} out of range for {w} bits");
+        let mut out = 0usize;
+        for (k, &src) in self.map.iter().enumerate() {
+            // Convert left index to right (LSB-first) index.
+            let src_r = w - 1 - src;
+            let dst_r = w - 1 - (k as u32);
+            out |= ((x >> src_r) & 1) << dst_r;
+        }
+        out
+    }
+
+    /// The inverse permutation.
+    pub fn inverse(&self) -> Self {
+        let mut map = vec![0u32; self.map.len()];
+        for (k, &src) in self.map.iter().enumerate() {
+            map[src as usize] = k as u32;
+        }
+        BitPerm { map }
+    }
+
+    /// Composition: `(self.then(other)).apply(x) == other.apply(self.apply(x))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn then(&self, other: &BitPerm) -> Self {
+        assert_eq!(self.width(), other.width(), "BitPerm::then: width mismatch");
+        let map = other.map.iter().map(|&k| self.map[k as usize]).collect();
+        BitPerm { map }
+    }
+
+    /// Applies the permutation to every index of `0..2^width`, returning
+    /// the full index permutation (useful for building matrices).
+    pub fn to_index_perm(&self) -> Vec<usize> {
+        (0..(1usize << self.width())).map(|x| self.apply(x)).collect()
+    }
+}
+
+/// Interleaves `lo` and `hi` as `[hi bits][lo bits]` into one address.
+///
+/// # Panics
+///
+/// Panics if the parts exceed their widths.
+#[inline]
+pub fn concat_bits(hi: usize, lo: usize, lo_bits: u32) -> usize {
+    assert!(lo < (1usize << lo_bits), "concat_bits: lo out of range");
+    (hi << lo_bits) | lo
+}
+
+/// Splits an address into `(hi, lo)` with `lo_bits` low bits.
+#[inline]
+pub fn split_bits(addr: usize, lo_bits: u32) -> (usize, usize) {
+    (addr >> lo_bits, addr & ((1usize << lo_bits) - 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_reverse_involution() {
+        for bits in 1..=10u32 {
+            for x in 0..(1usize << bits) {
+                assert_eq!(bit_reverse(bit_reverse(x, bits), bits), x);
+            }
+        }
+    }
+
+    #[test]
+    fn bit_reverse_known_values() {
+        assert_eq!(bit_reverse(0b0001, 4), 0b1000);
+        assert_eq!(bit_reverse(0b1011, 4), 0b1101);
+        assert_eq!(bit_reverse(5, 3), 5); // 101 is a palindrome
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bit_reverse_rejects_out_of_range() {
+        let _ = bit_reverse(8, 3);
+    }
+
+    #[test]
+    fn swap_bits_cases() {
+        assert_eq!(swap_bits(0b10, 1, 0), 0b01);
+        assert_eq!(swap_bits(0b11, 1, 0), 0b11);
+        assert_eq!(swap_bits(0b0110, 3, 2), 0b1010);
+    }
+
+    #[test]
+    fn identity_perm_is_identity() {
+        let p = BitPerm::identity(4);
+        for x in 0..16 {
+            assert_eq!(p.apply(x), x);
+        }
+    }
+
+    #[test]
+    fn paper_def_edf_efd_walk() {
+        // The 8-point walk of Fig. 2: def -> edf -> efd, with d,e,f the
+        // leftmost..rightmost bits of the original address.
+        let def = BitPerm::identity(3);
+        let edf = def.swapped_left(0, 1);
+        let efd = edf.swapped_left(1, 2);
+        // Address with d=1, e=0, f=0 is 0b100 = 4.
+        assert_eq!(edf.apply(0b100), 0b010); // e,d,f = 0,1,0
+        assert_eq!(efd.apply(0b100), 0b001); // e,f,d = 0,0,1
+        // And the final R (bit reverse of def) equals fed.
+        let fed = BitPerm::from_map(vec![2, 1, 0]);
+        for x in 0..8 {
+            assert_eq!(fed.apply(x), bit_reverse(x, 3));
+        }
+        // fed is efd with its first two output bits swapped, as the paper
+        // observes ("the final address fed ... after the bit-reverse
+        // transformation R").
+        assert_eq!(efd.swapped_left(0, 1), fed);
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let p = BitPerm::from_map(vec![2, 0, 3, 1]);
+        let inv = p.inverse();
+        for x in 0..16 {
+            assert_eq!(inv.apply(p.apply(x)), x);
+            assert_eq!(p.apply(inv.apply(x)), x);
+        }
+    }
+
+    #[test]
+    fn composition_order() {
+        let a = BitPerm::from_map(vec![1, 0, 2]);
+        let b = BitPerm::from_map(vec![0, 2, 1]);
+        let ab = a.then(&b);
+        for x in 0..8 {
+            assert_eq!(ab.apply(x), b.apply(a.apply(x)));
+        }
+    }
+
+    #[test]
+    fn from_map_rejects_non_permutation() {
+        let r = std::panic::catch_unwind(|| BitPerm::from_map(vec![0, 0, 1]));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn concat_split_roundtrip() {
+        for hi in 0..8 {
+            for lo in 0..16 {
+                let a = concat_bits(hi, lo, 4);
+                assert_eq!(split_bits(a, 4), (hi, lo));
+            }
+        }
+    }
+
+    #[test]
+    fn index_perm_is_permutation() {
+        let p = BitPerm::from_map(vec![1, 2, 0]);
+        let mut idx = p.to_index_perm();
+        idx.sort_unstable();
+        assert_eq!(idx, (0..8).collect::<Vec<_>>());
+    }
+}

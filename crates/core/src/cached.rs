@@ -1,0 +1,175 @@
+//! The cached FFT of Baas (JSSC 1999), the prior-art architecture the
+//! paper builds on — plus an access-counting harness.
+//!
+//! Baas splits the N-point FFT into two *epochs* of equal length; within
+//! an epoch, data is processed in independent fixed-size groups whose
+//! intermediates live in a cache (our CRF ancestor). Main memory is
+//! touched only at epoch boundaries. This module implements that
+//! algorithm directly (with standard in-place radix-2 groups rather than
+//! the array/BU structure) and counts main-memory accesses, so the
+//! benefit of the paper's CRF can be quantified against both this and
+//! the plain FFT.
+
+use crate::bits::bit_reverse;
+use crate::error::FftError;
+use crate::plan::Split;
+use crate::reference::Direction;
+use afft_num::{twiddle, Complex, C64};
+
+/// Count of main-memory traffic incurred by a transform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemTraffic {
+    /// Complex points read from main memory.
+    pub loads: usize,
+    /// Complex points written to main memory.
+    pub stores: usize,
+}
+
+impl MemTraffic {
+    /// Total accesses.
+    pub fn total(&self) -> usize {
+        self.loads + self.stores
+    }
+}
+
+/// Result of a cached-FFT run: natural-order spectrum plus the traffic
+/// the epoch structure generated.
+#[derive(Debug, Clone)]
+pub struct CachedFftOutput {
+    /// The spectrum in natural bin order.
+    pub bins: Vec<C64>,
+    /// Main-memory traffic (excludes in-cache group operations).
+    pub traffic: MemTraffic,
+}
+
+/// Runs the two-epoch cached FFT of Baas over `f64`.
+///
+/// Functionally identical to the array FFT; structurally it uses plain
+/// in-place radix-2 DIF groups (no BU module, no AC wiring) and counts
+/// memory traffic: `2N` loads and `2N` stores (one load + store per
+/// point per epoch), versus `N log2 N` each for the plain FFT.
+///
+/// # Errors
+///
+/// Returns [`FftError`] for invalid sizes or mismatched input length.
+pub fn cached_fft(input: &[C64], dir: Direction) -> Result<CachedFftOutput, FftError> {
+    let split = Split::for_size(input.len())?;
+    let s = &split;
+    let mut traffic = MemTraffic::default();
+    let mut mid = vec![Complex::zero(); s.n];
+    let mut out = vec![Complex::zero(); s.n];
+    let mut cache = vec![Complex::zero(); s.p_size];
+
+    // Epoch 0.
+    for l in 0..s.q_size {
+        for (m, slot) in cache.iter_mut().enumerate() {
+            *slot = input[l + s.q_size * m];
+            traffic.loads += 1;
+        }
+        group_dif(&mut cache[..s.p_size], dir);
+        for bin in 0..s.p_size {
+            let v = cache[bit_reverse(bin, s.p_stages)];
+            let e = (bin * l) % s.n;
+            let w = dir.twiddle(s.n, e);
+            mid[bin + s.p_size * l] = v * w;
+            traffic.stores += 1;
+        }
+    }
+
+    // Epoch 1.
+    for g in 0..s.p_size {
+        for l in 0..s.q_size {
+            cache[l] = mid[g + s.p_size * l];
+            traffic.loads += 1;
+        }
+        group_dif(&mut cache[..s.q_size], dir);
+        for t in 0..s.q_size {
+            out[g + s.p_size * t] = cache[bit_reverse(t, s.q_stages)];
+            traffic.stores += 1;
+        }
+    }
+    Ok(CachedFftOutput { bins: out, traffic })
+}
+
+/// Memory traffic of the *plain* in-place FFT under the same accounting
+/// (every butterfly loads 2 and stores 2 points): `N log2 N` each.
+///
+/// This is the paper's motivating count: "an N-point FFT has a total of
+/// `N * log2 N` loads and stores for the whole dataflow".
+pub fn plain_fft_traffic(n: usize) -> MemTraffic {
+    let stages = n.trailing_zeros() as usize;
+    MemTraffic { loads: n * stages, stores: n * stages }
+}
+
+fn group_dif(data: &mut [C64], dir: Direction) {
+    let g = data.len();
+    let p = g.trailing_zeros();
+    for j in 1..=p {
+        let dist = 1usize << (p - j);
+        for start in (0..g).step_by(dist * 2) {
+            for a in start..start + dist {
+                let e = (a % dist) << (j - 1);
+                let w = match dir {
+                    Direction::Forward => twiddle(g, e),
+                    Direction::Inverse => twiddle(g, e).conj(),
+                };
+                let x0 = data[a];
+                let x1 = data[a + dist];
+                data[a] = x0 + x1;
+                data[a + dist] = (x0 - x1) * w;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::{dft_naive, max_error};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_signal(n: usize, seed: u64) -> Vec<C64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect()
+    }
+
+    #[test]
+    fn cached_fft_matches_reference() {
+        for n in [64usize, 128, 512, 1024] {
+            let x = random_signal(n, n as u64);
+            let want = dft_naive(&x, Direction::Forward).unwrap();
+            let got = cached_fft(&x, Direction::Forward).unwrap();
+            assert!(max_error(&got.bins, &want) < 1e-8 * n as f64, "n={n}");
+        }
+    }
+
+    #[test]
+    fn traffic_is_two_epochs_worth() {
+        let n = 1024;
+        let x = random_signal(n, 1);
+        let got = cached_fft(&x, Direction::Forward).unwrap();
+        assert_eq!(got.traffic.loads, 2 * n);
+        assert_eq!(got.traffic.stores, 2 * n);
+        // The plain FFT moves log2(N)/2 = 5x more data.
+        let plain = plain_fft_traffic(n);
+        assert_eq!(plain.loads, n * 10);
+        assert_eq!(plain.total() / got.traffic.total(), 5);
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let n = 256;
+        let x = random_signal(n, 2);
+        let y = cached_fft(&x, Direction::Forward).unwrap().bins;
+        let z = cached_fft(&y, Direction::Inverse).unwrap().bins;
+        let scaled: Vec<C64> = z.iter().map(|&v| v * (1.0 / n as f64)).collect();
+        assert!(max_error(&scaled, &x) < 1e-9);
+    }
+
+    #[test]
+    fn rejects_bad_sizes() {
+        assert!(cached_fft(&[Complex::zero(); 48], Direction::Forward).is_err());
+        assert!(cached_fft(&[Complex::zero(); 16], Direction::Forward).is_err());
+    }
+}

@@ -1,0 +1,68 @@
+//! Error types for the FFT planning and execution APIs.
+
+use core::fmt;
+
+/// Errors returned by FFT planning and execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FftError {
+    /// The transform size is not a supported power of two.
+    InvalidSize {
+        /// The rejected size.
+        n: usize,
+        /// Why it was rejected.
+        reason: &'static str,
+    },
+    /// An input buffer had the wrong length.
+    LengthMismatch {
+        /// Expected number of points.
+        expected: usize,
+        /// Provided number of points.
+        got: usize,
+    },
+    /// An epoch decomposition was invalid (e.g. factors do not multiply
+    /// to N, or a factor is below the butterfly-unit minimum).
+    InvalidDecomposition {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for FftError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FftError::InvalidSize { n, reason } => {
+                write!(f, "invalid FFT size {n}: {reason}")
+            }
+            FftError::LengthMismatch { expected, got } => {
+                write!(f, "input length {got} does not match transform size {expected}")
+            }
+            FftError::InvalidDecomposition { reason } => {
+                write!(f, "invalid epoch decomposition: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FftError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = FftError::InvalidSize { n: 3, reason: "not a power of two" };
+        assert_eq!(e.to_string(), "invalid FFT size 3: not a power of two");
+        let e = FftError::LengthMismatch { expected: 64, got: 32 };
+        assert!(e.to_string().contains("64"));
+        let e = FftError::InvalidDecomposition { reason: "factors".into() };
+        assert!(e.to_string().contains("factors"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<FftError>();
+    }
+}

@@ -1,0 +1,61 @@
+//! The array-structured FFT of Guan, Lin and Fei (DATE 2009): algorithm,
+//! address-changing algebra, coefficient storage, and prior-art
+//! baselines — the mathematical core of the ASIP reproduction.
+//!
+//! # Overview
+//!
+//! The paper restructures an N-point FFT into two *epochs* of
+//! register-file-resident groups, each group computed stage-by-stage by
+//! a fixed 8-point butterfly module whose operand addresses are derived
+//! in hardware by an *address-changing* (AC) rule. This crate is the
+//! bit-exact software model of that machine:
+//!
+//! * [`ArrayFft`] — plan + execute the full transform (over `f64` or the
+//!   16-bit fixed point of [`afft_num::Q15`]);
+//! * [`address`] — the AC algebra (`sigma_j`, `L_j`, epoch maps);
+//! * [`rom`] — the `P/2`-entry coefficient ROM and the octant-compressed
+//!   pre-rotation table;
+//! * [`matrix`] — the paper's Fig. 3 correctness identity in executable
+//!   form;
+//! * [`reference`](mod@reference), [`cached`], [`mcfft`] — the naive DFT, radix-2 FFTs,
+//!   Baas's cached FFT and the variable-epoch MCFFT, used as golden
+//!   references and comparison baselines.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use afft_core::{ArrayFft, Direction};
+//! use afft_num::Complex;
+//!
+//! let fft: ArrayFft<f64> = ArrayFft::new(1024)?;
+//! let input = vec![Complex::new(1.0, 0.0); 1024];
+//! let spectrum = fft.process(&input, Direction::Forward)?;
+//! assert!((spectrum[0].re - 1024.0).abs() < 1e-6);
+//! # Ok::<(), afft_core::FftError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod address;
+pub mod array;
+pub mod bfp;
+pub mod bits;
+pub mod cached;
+pub mod error;
+pub mod matrix;
+pub mod mcfft;
+pub mod ofdm;
+pub mod plan;
+pub mod realfft;
+pub mod reference;
+pub mod rom;
+pub mod snr;
+pub mod stage;
+pub mod window;
+
+pub use array::ArrayFft;
+pub use error::FftError;
+pub use plan::Split;
+pub use reference::Direction;
+pub use stage::Scaling;

@@ -1,0 +1,353 @@
+//! Matrix forms of the address-changing proof (the paper's Fig. 3).
+//!
+//! The paper proves correctness of the array structure via the identity
+//! `P_{j+1} x B_j = L_j x A x P_j` over one stage. In our formulation:
+//!
+//! * `B_j` — the in-place DIF stage operator on CRF contents;
+//! * `S_j` — the permutation matrix of the cumulative read wiring
+//!   [`sigma`]`sigma` of the AC algebra extended to all `P` rows (the
+//!   paper's `P_j`);
+//! * `M_j` — the fixed module applied in row space: butterflies on rows
+//!   `(u, u + P/2)` with stage-`j` coefficients (the paper's `A`, whose
+//!   *structure* is stage-independent; the coefficient values come from
+//!   the ROM);
+//! * `L_j` — the single bit-swap relating consecutive wirings:
+//!   `S_{j+1} = L_{j+1} ∘ S_j` as index maps.
+//!
+//! The provable identities (all verified by tests and by the
+//! `matrix_proof` experiment binary):
+//!
+//! 1. `B_j = S_j^{-1} M_j S_j`  — one stage through the module+wiring
+//!    equals the in-place DIF stage;
+//! 2. `S_{j+1} B_j = L_{j+1} M_j S_j` — the paper's Fig. 3 form.
+
+use crate::address::{sigma, stage_butterflies};
+use crate::reference::Direction;
+use afft_num::{Complex, C64};
+
+/// A dense complex matrix, row-major. Small (`P x P`) and only used by
+/// the proof machinery and tests, so no effort is spent on performance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CMatrix {
+    n: usize,
+    data: Vec<C64>,
+}
+
+impl CMatrix {
+    /// The `n x n` zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        CMatrix { n, data: vec![Complex::zero(); n * n] }
+    }
+
+    /// The `n x n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n);
+        for i in 0..n {
+            m[(i, i)] = Complex::new(1.0, 0.0);
+        }
+        m
+    }
+
+    /// Builds a permutation matrix `M` with `M * x` gathering
+    /// `y[i] = x[perm[i]]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..n`.
+    pub fn permutation(perm: &[usize]) -> Self {
+        let n = perm.len();
+        let mut m = Self::zeros(n);
+        let mut seen = vec![false; n];
+        for (i, &p) in perm.iter().enumerate() {
+            assert!(p < n && !seen[p], "not a permutation");
+            seen[p] = true;
+            m[(i, p)] = Complex::new(1.0, 0.0);
+        }
+        m
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn matmul(&self, rhs: &CMatrix) -> CMatrix {
+        assert_eq!(self.n, rhs.n, "matmul: dimension mismatch");
+        let n = self.n;
+        let mut out = CMatrix::zeros(n);
+        for i in 0..n {
+            for k in 0..n {
+                let a = self[(i, k)];
+                if a.abs() == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    out[(i, j)] = out[(i, j)] + a * rhs[(k, j)];
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix-vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn matvec(&self, x: &[C64]) -> Vec<C64> {
+        assert_eq!(self.n, x.len(), "matvec: dimension mismatch");
+        (0..self.n)
+            .map(|i| {
+                let mut acc = Complex::zero();
+                for j in 0..self.n {
+                    acc = acc + self[(i, j)] * x[j];
+                }
+                acc
+            })
+            .collect()
+    }
+
+    /// Maximum absolute entry-wise difference to another matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn max_diff(&self, rhs: &CMatrix) -> f64 {
+        assert_eq!(self.n, rhs.n, "max_diff: dimension mismatch");
+        self.data.iter().zip(&rhs.data).map(|(a, b)| a.dist(*b)).fold(0.0, f64::max)
+    }
+}
+
+impl core::ops::Index<(usize, usize)> for CMatrix {
+    type Output = C64;
+    fn index(&self, (i, j): (usize, usize)) -> &C64 {
+        &self.data[i * self.n + j]
+    }
+}
+
+impl core::ops::IndexMut<(usize, usize)> for CMatrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut C64 {
+        &mut self.data[i * self.n + j]
+    }
+}
+
+/// The in-place DIF stage operator `B_j` on CRF address space
+/// (`P = 2^p` points, stage `j` in `1..=p`).
+pub fn stage_operator(p: u32, j: u32, dir: Direction) -> CMatrix {
+    let n = 1usize << p;
+    let mut m = CMatrix::zeros(n);
+    for bf in stage_butterflies(p, j) {
+        let w = dir.twiddle(n, bf.rom_addr);
+        let one = Complex::new(1.0, 0.0);
+        m[(bf.addr_a, bf.addr_a)] = one;
+        m[(bf.addr_a, bf.addr_b)] = one;
+        m[(bf.addr_b, bf.addr_a)] = w;
+        m[(bf.addr_b, bf.addr_b)] = -w;
+    }
+    m
+}
+
+/// The fixed module `M_j` in row space: butterflies on rows
+/// `(u, u + P/2)` with the stage-`j` coefficient sequence the ROM
+/// addressing produces, enumerated through the wiring `sigma_j`.
+pub fn module_operator(p: u32, j: u32, dir: Direction) -> CMatrix {
+    let n = 1usize << p;
+    let s = sigma(p, j);
+    let mut m = CMatrix::zeros(n);
+    let half = n / 2;
+    for u in 0..half {
+        // Row u pairs with row u + P/2; the coefficient is that of the
+        // butterfly landing on CRF addresses (sigma(u), sigma(u+P/2)).
+        let a = s.apply(u);
+        let b = s.apply(u + half);
+        let (lo, _hi) = if a < b { (a, b) } else { (b, a) };
+        let dist = 1usize << (p - j);
+        let e = (lo % dist) << (j - 1);
+        let w = dir.twiddle(n, e);
+        let one = Complex::new(1.0, 0.0);
+        let (top, bot) = if a < b { (u, u + half) } else { (u + half, u) };
+        // top row receives the sum; bottom row the twiddled difference.
+        m[(top, top)] = one;
+        m[(top, bot)] = one;
+        m[(bot, top)] = w;
+        m[(bot, bot)] = -w;
+    }
+    m
+}
+
+/// The permutation matrix `S_j` (the paper's `P_j`): row `r` of the
+/// module reads CRF address `sigma_j(r)`.
+pub fn wiring_matrix(p: u32, j: u32) -> CMatrix {
+    CMatrix::permutation(&sigma(p, j).to_index_perm())
+}
+
+/// The local address-change matrix `L_j` (`j >= 2`) of the paper's
+/// Fig. 3: the permutation relating consecutive module-order views,
+/// `L_j = S_j * S_{j-1}^{-1}`.
+///
+/// As an *address function* the step between wirings is the adjacent
+/// bit swap [`local_swap`](crate::address::local_swap) (`sigma_j = local_swap_j ∘ sigma_{j-1}`);
+/// in module-row space that same step appears conjugated by the current
+/// wiring, which is what this matrix is. Tests verify it is still a
+/// single transposition of two address bits.
+pub fn local_matrix(p: u32, j: u32) -> CMatrix {
+    assert!((2..=p).contains(&j), "local_matrix: stage {j} out of 2..={p}");
+    let s_j = wiring_matrix(p, j);
+    let s_prev_inv = CMatrix::permutation(&sigma(p, j - 1).inverse().to_index_perm());
+    s_j.matmul(&s_prev_inv)
+}
+
+/// Checks identity (1): `B_j == S_j^{-1} M_j S_j`. Returns the maximum
+/// entry-wise deviation (0 up to rounding when the identity holds).
+pub fn check_conjugation_identity(p: u32, j: u32) -> f64 {
+    let b = stage_operator(p, j, Direction::Forward);
+    let m = module_operator(p, j, Direction::Forward);
+    let s = wiring_matrix(p, j);
+    let s_inv = CMatrix::permutation(&sigma(p, j).inverse().to_index_perm());
+    let lhs = b;
+    let rhs = s_inv.matmul(&m).matmul(&s);
+    lhs.max_diff(&rhs)
+}
+
+/// Checks the paper's Fig. 3 identity (2): `S_{j+1} B_j == L_{j+1} M_j
+/// S_j` for `j in 1..p`. Returns the maximum entry-wise deviation.
+pub fn check_paper_identity(p: u32, j: u32) -> f64 {
+    assert!(j < p, "check_paper_identity: needs j+1 <= p");
+    let b = stage_operator(p, j, Direction::Forward);
+    let m = module_operator(p, j, Direction::Forward);
+    let s_j = wiring_matrix(p, j);
+    let s_j1 = wiring_matrix(p, j + 1);
+    let l_j1 = local_matrix(p, j + 1);
+    let lhs = s_j1.matmul(&b);
+    let rhs = l_j1.matmul(&m).matmul(&s_j);
+    lhs.max_diff(&rhs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn conjugation_identity_all_stages() {
+        for p in 3..=6u32 {
+            for j in 1..=p {
+                let d = check_conjugation_identity(p, j);
+                assert!(d < 1e-12, "p={p} j={j}: deviation {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn paper_identity_all_stages() {
+        for p in 3..=6u32 {
+            for j in 1..p {
+                let d = check_paper_identity(p, j);
+                assert!(d < 1e-12, "p={p} j={j}: deviation {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn local_matrix_is_a_single_bit_transposition() {
+        for p in 3..=6u32 {
+            for j in 2..=p {
+                let l = local_matrix(p, j);
+                let n = 1usize << p;
+                // Recover the index map.
+                let mut map = vec![0usize; n];
+                for i in 0..n {
+                    let hits: Vec<usize> =
+                        (0..n).filter(|&k| l[(i, k)].abs() > 0.5).collect();
+                    assert_eq!(hits.len(), 1, "not a permutation matrix");
+                    map[i] = hits[0];
+                }
+                // The map must be linear over bit positions: the image of
+                // each power of two is a power of two, and exactly two
+                // positions are exchanged.
+                let mut moved = 0;
+                for b in 0..p {
+                    let img = map[1usize << b];
+                    assert!(img.is_power_of_two(), "p={p} j={j}: image {img} not a bit");
+                    if img != (1usize << b) {
+                        moved += 1;
+                    }
+                }
+                assert_eq!(moved, 2, "p={p} j={j}: L must swap exactly two bits");
+                // And it is an involution.
+                for i in 0..n {
+                    assert_eq!(map[map[i]], i);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stage_operators_compose_to_dft() {
+        // B_p ... B_1 == bit-reversal * DFT matrix.
+        let p = 4u32;
+        let n = 1usize << p;
+        let mut acc = CMatrix::identity(n);
+        for j in 1..=p {
+            acc = stage_operator(p, j, Direction::Forward).matmul(&acc);
+        }
+        // Build R * F where F is the DFT matrix and R the bit reversal.
+        let mut want = CMatrix::zeros(n);
+        for a in 0..n {
+            let s = crate::bits::bit_reverse(a, p);
+            for m in 0..n {
+                want[(a, m)] = afft_num::twiddle(n, (s * m) % n);
+            }
+        }
+        assert!(acc.max_diff(&want) < 1e-10);
+    }
+
+    #[test]
+    fn matvec_matches_matmul() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 8;
+        let mut a = CMatrix::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0));
+            }
+        }
+        let x: Vec<C64> =
+            (0..n).map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect();
+        let got = a.matvec(&x);
+        // Compare against the product with a one-column embedding.
+        for (i, g) in got.iter().enumerate() {
+            let mut acc = Complex::zero();
+            for j in 0..n {
+                acc = acc + a[(i, j)] * x[j];
+            }
+            assert!(g.dist(acc) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn permutation_matrix_gathers() {
+        let p = CMatrix::permutation(&[2, 0, 1]);
+        let x = vec![
+            Complex::new(10.0, 0.0),
+            Complex::new(20.0, 0.0),
+            Complex::new(30.0, 0.0),
+        ];
+        let y = p.matvec(&x);
+        assert_eq!(y[0].re, 30.0);
+        assert_eq!(y[1].re, 10.0);
+        assert_eq!(y[2].re, 20.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a permutation")]
+    fn permutation_rejects_duplicates() {
+        let _ = CMatrix::permutation(&[0, 0, 1]);
+    }
+}

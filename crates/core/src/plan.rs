@@ -1,0 +1,178 @@
+//! Transform-size planning: the `N = P * Q` epoch split.
+
+use crate::error::FftError;
+
+/// Minimum in-group size processable by the 8-point butterfly module
+/// (4 parallel radix-2 butterflies consume 8 points per `BUT4`).
+pub const MIN_GROUP: usize = 8;
+
+/// The epoch decomposition `N = P * Q` of the paper's Section II-A.
+///
+/// `P = 2^p` is the epoch-0 group size (and the CRF capacity); `Q = 2^q`
+/// is the epoch-1 group size; `p + q = log2 N` with `0 <= p - q <= 1`
+/// (so `P = sqrt(N)` for even `log2 N`, `P = sqrt(2N)` otherwise,
+/// exactly the paper's Section II-C statement).
+///
+/// # Examples
+///
+/// ```
+/// use afft_core::plan::Split;
+///
+/// let s = Split::for_size(1024)?;
+/// assert_eq!((s.p_size, s.q_size), (32, 32));
+/// let s = Split::for_size(128)?;
+/// assert_eq!((s.p_size, s.q_size), (16, 8));
+/// # Ok::<(), afft_core::FftError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Split {
+    /// Transform size `N`.
+    pub n: usize,
+    /// `log2 N`.
+    pub log2_n: u32,
+    /// Epoch-0 group size `P`.
+    pub p_size: usize,
+    /// Epoch-0 stage count `p = log2 P`.
+    pub p_stages: u32,
+    /// Epoch-1 group size `Q`.
+    pub q_size: usize,
+    /// Epoch-1 stage count `q = log2 Q`.
+    pub q_stages: u32,
+}
+
+impl Split {
+    /// Plans the canonical split for an `N`-point transform.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::InvalidSize`] unless `N` is a power of two
+    /// with `N >= MIN_GROUP^2 = 64` (the smallest size where both epochs
+    /// keep the 8-point butterfly module busy, and the smallest size the
+    /// paper evaluates).
+    pub fn for_size(n: usize) -> Result<Self, FftError> {
+        if !n.is_power_of_two() {
+            return Err(FftError::InvalidSize { n, reason: "not a power of two" });
+        }
+        let log2_n = n.trailing_zeros();
+        let p_stages = log2_n.div_ceil(2);
+        let q_stages = log2_n - p_stages;
+        let split = Split {
+            n,
+            log2_n,
+            p_size: 1usize << p_stages,
+            p_stages,
+            q_size: 1usize << q_stages,
+            q_stages,
+        };
+        if split.q_size < MIN_GROUP {
+            return Err(FftError::InvalidSize {
+                n,
+                reason: "smaller than 64: epoch-1 groups would not fill the 8-point butterfly module",
+            });
+        }
+        Ok(split)
+    }
+
+    /// Plans an explicit split `N = P * Q`; used by the variable-epoch
+    /// (MCFFT) extension and by tests probing non-canonical splits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::InvalidDecomposition`] unless both factors are
+    /// powers of two of at least [`MIN_GROUP`] and multiply to `n`.
+    pub fn with_factors(n: usize, p_size: usize, q_size: usize) -> Result<Self, FftError> {
+        if !n.is_power_of_two() || !p_size.is_power_of_two() || !q_size.is_power_of_two() {
+            return Err(FftError::InvalidDecomposition {
+                reason: format!("{n} = {p_size} * {q_size}: all must be powers of two"),
+            });
+        }
+        if p_size * q_size != n {
+            return Err(FftError::InvalidDecomposition {
+                reason: format!("{p_size} * {q_size} != {n}"),
+            });
+        }
+        if p_size < MIN_GROUP || q_size < MIN_GROUP {
+            return Err(FftError::InvalidDecomposition {
+                reason: format!("factors {p_size}, {q_size} below butterfly-module minimum {MIN_GROUP}"),
+            });
+        }
+        Ok(Split {
+            n,
+            log2_n: n.trailing_zeros(),
+            p_size,
+            p_stages: p_size.trailing_zeros(),
+            q_size,
+            q_stages: q_size.trailing_zeros(),
+        })
+    }
+
+    /// Number of epoch-0 groups (`Q`): one P-point FFT per residue class.
+    pub fn epoch0_groups(&self) -> usize {
+        self.q_size
+    }
+
+    /// Number of epoch-1 groups (`P`).
+    pub fn epoch1_groups(&self) -> usize {
+        self.p_size
+    }
+
+    /// Total `BUT4` operations for the whole transform:
+    /// `Q * p * P/8 + P * q * Q/8 = N * log2(N) / 8`.
+    pub fn total_bu_ops(&self) -> usize {
+        self.n * self.log2_n as usize / 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_splits_match_paper() {
+        // (N, P, Q) for the paper's Table I sizes.
+        for (n, p, q) in [
+            (64usize, 8usize, 8usize),
+            (128, 16, 8),
+            (256, 16, 16),
+            (512, 32, 16),
+            (1024, 32, 32),
+            (2048, 64, 32),
+            (4096, 64, 64),
+        ] {
+            let s = Split::for_size(n).unwrap();
+            assert_eq!((s.p_size, s.q_size), (p, q), "N={n}");
+            assert_eq!(s.p_size * s.q_size, n);
+            assert!(s.p_stages - s.q_stages <= 1);
+        }
+    }
+
+    #[test]
+    fn rejects_small_and_non_pow2() {
+        assert!(Split::for_size(32).is_err());
+        assert!(Split::for_size(48).is_err());
+        assert!(Split::for_size(0).is_err());
+    }
+
+    #[test]
+    fn bu_op_count_formula() {
+        let s = Split::for_size(1024).unwrap();
+        assert_eq!(s.total_bu_ops(), 1280);
+        let s = Split::for_size(64).unwrap();
+        assert_eq!(s.total_bu_ops(), 48);
+    }
+
+    #[test]
+    fn explicit_factors_validation() {
+        assert!(Split::with_factors(1024, 64, 16).is_ok());
+        assert!(Split::with_factors(1024, 128, 8).is_ok());
+        assert!(Split::with_factors(1024, 256, 4).is_err()); // Q too small
+        assert!(Split::with_factors(1024, 32, 16).is_err()); // wrong product
+    }
+
+    #[test]
+    fn group_counts() {
+        let s = Split::for_size(128).unwrap();
+        assert_eq!(s.epoch0_groups(), 8);
+        assert_eq!(s.epoch1_groups(), 16);
+    }
+}

@@ -1,0 +1,95 @@
+//! Signal-quality metrics for the fixed-point datapath.
+//!
+//! The paper's datapath is 16-bit; any fixed-point FFT trades dynamic
+//! range for area. These helpers quantify that trade (used by the
+//! `quantization` experiment and the BFP comparison).
+
+use afft_num::C64;
+
+/// Signal-to-noise ratio in dB between a reference and a measured
+/// vector: `10 log10(sum|ref|^2 / sum|ref - meas|^2)`.
+///
+/// Returns `f64::INFINITY` for an exact match.
+///
+/// # Panics
+///
+/// Panics if the lengths differ or the reference is all-zero.
+///
+/// # Examples
+///
+/// ```
+/// use afft_core::snr::snr_db;
+/// use afft_num::Complex;
+///
+/// let reference = vec![Complex::new(1.0, 0.0); 8];
+/// let noisy: Vec<_> = reference.iter().map(|c| *c + Complex::new(0.01, 0.0)).collect();
+/// let snr = snr_db(&reference, &noisy);
+/// assert!((snr - 40.0).abs() < 0.1);
+/// ```
+pub fn snr_db(reference: &[C64], measured: &[C64]) -> f64 {
+    assert_eq!(reference.len(), measured.len(), "snr_db: length mismatch");
+    let sig: f64 = reference.iter().map(|c| c.norm_sqr()).sum();
+    assert!(sig > 0.0, "snr_db: reference has no energy");
+    let err: f64 = reference.iter().zip(measured).map(|(a, b)| (*a - *b).norm_sqr()).sum();
+    if err == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (sig / err).log10()
+    }
+}
+
+/// Root-mean-square error between two complex vectors.
+///
+/// # Panics
+///
+/// Panics if the lengths differ or the input is empty.
+pub fn rms_error(reference: &[C64], measured: &[C64]) -> f64 {
+    assert_eq!(reference.len(), measured.len(), "rms_error: length mismatch");
+    assert!(!reference.is_empty(), "rms_error: empty input");
+    let err: f64 = reference.iter().zip(measured).map(|(a, b)| (*a - *b).norm_sqr()).sum();
+    (err / reference.len() as f64).sqrt()
+}
+
+/// Effective number of bits implied by an SNR for a full-scale
+/// sinusoid: `(snr_db - 1.76) / 6.02`.
+pub fn effective_bits(snr_db: f64) -> f64 {
+    (snr_db - 1.76) / 6.02
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afft_num::Complex;
+
+    #[test]
+    fn exact_match_is_infinite_snr() {
+        let x = vec![Complex::new(1.0, -2.0); 4];
+        assert_eq!(snr_db(&x, &x), f64::INFINITY);
+        assert_eq!(rms_error(&x, &x), 0.0);
+    }
+
+    #[test]
+    fn known_noise_level() {
+        let reference = vec![Complex::new(1.0, 0.0); 100];
+        let measured: Vec<C64> =
+            reference.iter().map(|c| *c + Complex::new(0.001, 0.0)).collect();
+        let snr = snr_db(&reference, &measured);
+        assert!((snr - 60.0).abs() < 0.1, "snr {snr}");
+        assert!((rms_error(&reference, &measured) - 0.001).abs() < 1e-12);
+    }
+
+    #[test]
+    fn effective_bits_of_16_bit_quantisation() {
+        // Ideal 16-bit quantisation ~ 98.1 dB SNR ~ 16 bits.
+        let bits = effective_bits(98.09);
+        assert!((bits - 16.0).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        let a = vec![Complex::new(1.0, 0.0); 2];
+        let b = vec![Complex::new(1.0, 0.0); 3];
+        let _ = snr_db(&a, &b);
+    }
+}

@@ -1,0 +1,128 @@
+//! Window functions for spectral analysis front-ends.
+//!
+//! A spectrum analyser built on the array FFT needs windowing to
+//! control leakage; these are the standard cosine-sum windows with
+//! their textbook gains, tested against their defining properties.
+
+use afft_num::{Complex, C64};
+
+/// Window shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Window {
+    /// No shaping (all ones).
+    Rectangular,
+    /// Hann: `0.5 - 0.5 cos(2 pi n / (N-1))`.
+    Hann,
+    /// Hamming: `0.54 - 0.46 cos(2 pi n / (N-1))`.
+    Hamming,
+    /// Blackman (a0 = 0.42, a1 = 0.5, a2 = 0.08).
+    Blackman,
+}
+
+impl Window {
+    /// Sample `n` of an `len`-point window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= len` or `len < 2`.
+    pub fn coefficient(self, n: usize, len: usize) -> f64 {
+        assert!(len >= 2, "window needs at least 2 points");
+        assert!(n < len, "window index out of range");
+        let x = 2.0 * std::f64::consts::PI * n as f64 / (len - 1) as f64;
+        match self {
+            Window::Rectangular => 1.0,
+            Window::Hann => 0.5 - 0.5 * x.cos(),
+            Window::Hamming => 0.54 - 0.46 * x.cos(),
+            Window::Blackman => 0.42 - 0.5 * x.cos() + 0.08 * (2.0 * x).cos(),
+        }
+    }
+
+    /// The full window vector.
+    pub fn vector(self, len: usize) -> Vec<f64> {
+        (0..len).map(|n| self.coefficient(n, len)).collect()
+    }
+
+    /// Coherent gain: mean of the window (amplitude correction factor
+    /// for tones).
+    pub fn coherent_gain(self, len: usize) -> f64 {
+        self.vector(len).iter().sum::<f64>() / len as f64
+    }
+
+    /// Applies the window to a complex signal in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len < 2`.
+    pub fn apply(self, signal: &mut [C64]) {
+        let len = signal.len();
+        for (n, s) in signal.iter_mut().enumerate() {
+            let w = self.coefficient(n, len);
+            *s = Complex::new(s.re * w, s.im * w);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoints_and_symmetry() {
+        for w in [Window::Hann, Window::Hamming, Window::Blackman] {
+            let v = w.vector(64);
+            // Symmetric.
+            for n in 0..64 {
+                assert!((v[n] - v[63 - n]).abs() < 1e-12, "{w:?} n={n}");
+            }
+            // Peak at the centre region.
+            let peak = v.iter().cloned().fold(0.0, f64::max);
+            assert!((peak - v[31]).abs() < 0.01 || (peak - v[32]).abs() < 0.01);
+        }
+        // Hann endpoints are exactly zero.
+        let hann = Window::Hann.vector(64);
+        assert!(hann[0].abs() < 1e-15 && hann[63].abs() < 1e-15);
+    }
+
+    #[test]
+    fn coherent_gains_match_textbook_values() {
+        // Asymptotic gains: Hann 0.50, Hamming 0.54, Blackman 0.42.
+        for (w, gain) in
+            [(Window::Hann, 0.5), (Window::Hamming, 0.54), (Window::Blackman, 0.42)]
+        {
+            let g = w.coherent_gain(4096);
+            assert!((g - gain).abs() < 0.01, "{w:?}: {g}");
+        }
+        assert_eq!(Window::Rectangular.coherent_gain(64), 1.0);
+    }
+
+    #[test]
+    fn hann_reduces_leakage_vs_rectangular() {
+        use crate::reference::{dft_naive, Direction};
+        use afft_num::twiddle;
+        let n = 64;
+        // An off-bin tone (worst case for leakage).
+        let tone = 10.5;
+        let make = |win: Window| {
+            let mut x: Vec<C64> = (0..n)
+                .map(|m| {
+                    let theta = -2.0 * std::f64::consts::PI * tone * m as f64 / n as f64;
+                    Complex::new(theta.cos(), theta.sin()).conj()
+                })
+                .collect();
+            win.apply(&mut x);
+            let y = dft_naive(&x, Direction::Forward).unwrap();
+            // Leakage far from the tone (bins 40..50).
+            y[40..50].iter().map(|c| c.abs()).fold(0.0, f64::max)
+        };
+        let _ = twiddle(2, 0); // keep the import honest
+        let rect = make(Window::Rectangular);
+        let hann = make(Window::Hann);
+        assert!(hann < rect / 10.0, "hann {hann} vs rect {rect}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn index_bounds() {
+        let _ = Window::Hann.coefficient(64, 64);
+    }
+}

@@ -1,0 +1,144 @@
+//! Cross-checks between every transform implementation in the crate:
+//! they are different machines computing the same mathematics, so they
+//! must agree pairwise.
+
+use afft_core::bfp::bfp_array_fft;
+use afft_core::cached::cached_fft;
+use afft_core::mcfft::{mcfft, Epochs};
+use afft_core::realfft::RealFft;
+use afft_core::reference::{dft_naive, fft_radix2_dif_f64, fft_radix2_dit_f64, bit_reverse_permute, max_error, Direction};
+use afft_core::{ArrayFft, Scaling, Split};
+use afft_num::{Complex, C64, Q15};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_signal(n: usize, seed: u64) -> Vec<C64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect()
+}
+
+#[test]
+fn all_f64_transforms_agree() {
+    let n = 1024;
+    let x = random_signal(n, 1);
+
+    let array = ArrayFft::<f64>::new(n).unwrap().process(&x, Direction::Forward).unwrap();
+
+    let mut dit = x.clone();
+    fft_radix2_dit_f64(&mut dit, Direction::Forward).unwrap();
+
+    let mut dif = x.clone();
+    fft_radix2_dif_f64(&mut dif, Direction::Forward).unwrap();
+    bit_reverse_permute(&mut dif);
+
+    let cached = cached_fft(&x, Direction::Forward).unwrap().bins;
+
+    let epochs = Epochs::new(n, &[32, 32]).unwrap();
+    let mc = mcfft(&x, &epochs, Direction::Forward).unwrap();
+
+    for (name, other) in [
+        ("radix2-dit", &dit),
+        ("radix2-dif", &dif),
+        ("cached", &cached),
+        ("mcfft", &mc),
+    ] {
+        assert!(max_error(&array, other) < 1e-8, "array vs {name}");
+    }
+}
+
+#[test]
+fn array_fft_agrees_across_all_legal_splits() {
+    let n = 4096;
+    let x = random_signal(n, 2);
+    let want = ArrayFft::<f64>::new(n).unwrap().process(&x, Direction::Forward).unwrap();
+    for (p, q) in [(64usize, 64usize), (128, 32), (256, 16), (512, 8)] {
+        let split = Split::with_factors(n, p, q).unwrap();
+        let fft = ArrayFft::<f64>::with_split(split, Scaling::None).unwrap();
+        let got = fft.process(&x, Direction::Forward).unwrap();
+        assert!(max_error(&got, &want) < 1e-7, "split {p}x{q}");
+    }
+}
+
+#[test]
+fn mcfft_deep_decompositions_agree() {
+    let n = 4096;
+    let x = random_signal(n, 3);
+    let want = dft_naive(&x, Direction::Forward).unwrap();
+    for factors in [vec![4096], vec![64, 64], vec![16, 16, 16], vec![8, 8, 8, 8]] {
+        let e = Epochs::new(n, &factors).unwrap();
+        let got = mcfft(&x, &e, Direction::Forward).unwrap();
+        assert!(max_error(&got, &want) < 1e-6, "factors {factors:?}");
+    }
+}
+
+#[test]
+fn fixed_and_bfp_agree_on_wellscaled_input() {
+    let n = 256;
+    let x = random_signal(n, 4);
+    let xq: Vec<Complex<Q15>> = x.iter().map(|&c| Complex::from_c64(c * 0.9)).collect();
+
+    let fixed = ArrayFft::<Q15>::with_scaling(n, Scaling::HalfPerStage)
+        .unwrap()
+        .process(&xq, Direction::Forward)
+        .unwrap();
+    let fixed_f: Vec<C64> = fixed.iter().map(|c| c.to_c64() * n as f64).collect();
+
+    let bfp = bfp_array_fft(&xq, Direction::Forward).unwrap();
+    let scale = (bfp.exponent as f64).exp2();
+    let bfp_f: Vec<C64> = bfp.data.iter().map(|c| c.to_c64() * scale).collect();
+
+    let norm = fixed_f.iter().map(|c| c.abs()).fold(0.0, f64::max);
+    assert!(max_error(&fixed_f, &bfp_f) / norm < 0.01);
+}
+
+#[test]
+fn realfft_consistent_with_array_fft() {
+    let len = 512;
+    let mut rng = StdRng::seed_from_u64(5);
+    let real: Vec<f64> = (0..len).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let rfft = RealFft::new(len).unwrap();
+    let bins = rfft.process(&real).unwrap();
+    let full = rfft.expand_full(&bins);
+
+    let complex_in: Vec<C64> = real.iter().map(|&v| Complex::new(v, 0.0)).collect();
+    let want =
+        ArrayFft::<f64>::new(len).unwrap().process(&complex_in, Direction::Forward).unwrap();
+    assert!(max_error(&full, &want) < 1e-8);
+}
+
+#[test]
+fn hermitian_symmetry_of_real_input_on_array_fft() {
+    let n = 128;
+    let mut rng = StdRng::seed_from_u64(6);
+    let x: Vec<C64> = (0..n).map(|_| Complex::new(rng.gen_range(-1.0..1.0), 0.0)).collect();
+    let y = ArrayFft::<f64>::new(n).unwrap().process(&x, Direction::Forward).unwrap();
+    for k in 1..n {
+        assert!(y[n - k].dist(y[k].conj()) < 1e-9, "bin {k}");
+    }
+}
+
+#[test]
+fn convolution_theorem_via_forward_inverse() {
+    // Circular convolution in time == product in frequency.
+    let n = 64;
+    let a = random_signal(n, 7);
+    let b = random_signal(n, 8);
+    let fft = ArrayFft::<f64>::new(n).unwrap();
+    let fa = fft.process(&a, Direction::Forward).unwrap();
+    let fb = fft.process(&b, Direction::Forward).unwrap();
+    let prod: Vec<C64> = fa.iter().zip(&fb).map(|(&x, &y)| x * y).collect();
+    let conv_freq: Vec<C64> = fft
+        .process(&prod, Direction::Inverse)
+        .unwrap()
+        .iter()
+        .map(|&v| v * (1.0 / n as f64))
+        .collect();
+    // Direct circular convolution.
+    let mut conv_time = vec![Complex::zero(); n];
+    for (i, ci) in conv_time.iter_mut().enumerate() {
+        for j in 0..n {
+            *ci = *ci + a[j] * b[(n + i - j) % n];
+        }
+    }
+    assert!(max_error(&conv_freq, &conv_time) < 1e-8);
+}

@@ -1,0 +1,329 @@
+//! Analytic hardware-cost model: the reproduction's stand-in for
+//! Synopsys Design Compiler + TSMC 0.18 um synthesis (Section IV).
+//!
+//! The model composes the custom hardware (BU, AC, CRF, coefficient
+//! ROM) from a small standard-cell constant library expressed in
+//! NAND2-equivalent gates and nanoseconds. The constants are calibrated
+//! *once* against the paper's published totals for the 1024-point
+//! (P = 32) configuration — 17324 gates BU+AC, 15764 gates CRF+ROM,
+//! 17.68 mW at 300 MHz, 3.2 ns BU critical path — and then used to
+//! predict the scaling of every other configuration (the `hwcost`
+//! experiment sweeps P).
+//!
+//! # Examples
+//!
+//! ```
+//! use afft_hwmodel::{asip_cost, TechLibrary};
+//!
+//! let cost = asip_cost(&TechLibrary::tsmc018(), 32);
+//! assert!((cost.total_gates() as f64 - 33_000.0).abs() / 33_000.0 < 0.05);
+//! assert!(cost.max_clock_mhz() > 300.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Gate count of the paper's base PISA core (including its 32 KB
+/// cache), for overhead comparisons.
+pub const PISA_CORE_GATES: u64 = 106_000;
+
+/// Standard-cell constants for one technology node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TechLibrary {
+    /// 16x16-bit signed multiplier, NAND2-equivalents.
+    pub mult16_gates: f64,
+    /// 16-bit adder/subtractor.
+    pub add16_gates: f64,
+    /// 32-bit adder.
+    pub add32_gates: f64,
+    /// Round-and-saturate stage, 16-bit.
+    pub round16_gates: f64,
+    /// Per-butterfly control/miscellaneous.
+    pub bfly_misc_gates: f64,
+    /// One flip-flop bit.
+    pub dff_gates: f64,
+    /// Register-file port cost: gates per storage bit, per port, per
+    /// entry (mux/decode trees grow with both entries and ports).
+    pub rf_port_factor: f64,
+    /// ROM cell per bit.
+    pub rom_bit_gates: f64,
+    /// AC unit: fixed control gates.
+    pub ac_fixed_gates: f64,
+    /// AC unit: gates per `p^2` (the bit-permute mux fabric grows with
+    /// the square of the address width).
+    pub ac_perm_factor: f64,
+    /// Multiplier delay, ns.
+    pub mult16_delay_ns: f64,
+    /// 32-bit adder delay, ns.
+    pub add32_delay_ns: f64,
+    /// Round/saturate delay, ns.
+    pub round_delay_ns: f64,
+    /// AC address-generation delay, ns.
+    pub ac_delay_ns: f64,
+    /// Dynamic power coefficient: mW per gate per MHz at full activity.
+    pub power_mw_per_gate_mhz: f64,
+}
+
+impl TechLibrary {
+    /// The calibrated TSMC 0.18 um library of the paper's synthesis.
+    pub fn tsmc018() -> Self {
+        TechLibrary {
+            mult16_gates: 825.0,
+            add16_gates: 48.0,
+            add32_gates: 96.0,
+            round16_gates: 40.0,
+            bfly_misc_gates: 90.0,
+            dff_gates: 6.0,
+            rf_port_factor: 0.018,
+            rom_bit_gates: 0.3,
+            ac_fixed_gates: 600.0,
+            ac_perm_factor: 48.0,
+            mult16_delay_ns: 2.35,
+            add32_delay_ns: 0.65,
+            round_delay_ns: 0.2,
+            ac_delay_ns: 0.55,
+            power_mw_per_gate_mhz: 3.423e-6,
+        }
+    }
+}
+
+impl Default for TechLibrary {
+    fn default() -> Self {
+        Self::tsmc018()
+    }
+}
+
+/// Cost of one synthesised module.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModuleCost {
+    /// NAND2-equivalent gate count.
+    pub gates: f64,
+    /// Register-to-register critical path, ns.
+    pub delay_ns: f64,
+    /// Switching-activity factor used for power estimates.
+    pub activity: f64,
+}
+
+impl ModuleCost {
+    /// Dynamic power at `f_mhz`, in mW.
+    pub fn power_mw(&self, lib: &TechLibrary, f_mhz: f64) -> f64 {
+        self.gates * self.activity * lib.power_mw_per_gate_mhz * f_mhz
+    }
+}
+
+/// One radix-2 DIF butterfly datapath (2 x 16-bit add/sub per complex
+/// component, 4 multipliers, 2 wide adders, rounding).
+pub fn butterfly_cost(lib: &TechLibrary) -> ModuleCost {
+    let gates = 4.0 * lib.mult16_gates
+        + 4.0 * lib.add16_gates
+        + 2.0 * lib.add32_gates
+        + 2.0 * lib.round16_gates
+        + lib.bfly_misc_gates;
+    let delay = lib.mult16_delay_ns + lib.add32_delay_ns + lib.round_delay_ns;
+    ModuleCost { gates, delay_ns: delay, activity: 1.0 }
+}
+
+/// The BU: four parallel butterflies.
+pub fn bu_cost(lib: &TechLibrary) -> ModuleCost {
+    let b = butterfly_cost(lib);
+    ModuleCost { gates: 4.0 * b.gates, delay_ns: b.delay_ns, activity: 1.0 }
+}
+
+/// The AC unit for a group of `2^p` points: counters plus the
+/// bit-permute fabric that produces 8 CRF addresses and 4 ROM addresses
+/// per cycle.
+///
+/// # Panics
+///
+/// Panics if `p < 3` (the BU needs 8 points).
+pub fn ac_cost(lib: &TechLibrary, p: u32) -> ModuleCost {
+    assert!(p >= 3, "ac_cost: group must be at least 8 points");
+    let gates = lib.ac_fixed_gates + lib.ac_perm_factor * f64::from(p * p);
+    ModuleCost { gates, delay_ns: lib.ac_delay_ns, activity: 0.8 }
+}
+
+/// A multiported register file: `entries` x `bits` with `read_ports` +
+/// `write_ports` access ports (the CRF needs 8R/8W for one BU beat).
+pub fn register_file_cost(
+    lib: &TechLibrary,
+    entries: usize,
+    bits: usize,
+    read_ports: usize,
+    write_ports: usize,
+) -> ModuleCost {
+    let storage = lib.dff_gates;
+    let ports = (read_ports + write_ports) as f64 * entries as f64 * lib.rf_port_factor;
+    let gates = entries as f64 * bits as f64 * (storage + ports);
+    ModuleCost { gates, delay_ns: 0.9, activity: 0.5 }
+}
+
+/// A coefficient ROM of `entries` x `bits`.
+pub fn rom_cost(lib: &TechLibrary, entries: usize, bits: usize) -> ModuleCost {
+    ModuleCost {
+        gates: entries as f64 * bits as f64 * lib.rom_bit_gates,
+        delay_ns: 0.7,
+        activity: 0.3,
+    }
+}
+
+/// Synthesis summary of the full custom extension for a given epoch-0
+/// group size `P` (the paper's Section IV configuration is `P = 32`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AsipCost {
+    /// Group size the hardware was sized for.
+    pub p_size: usize,
+    /// BU + AC gates (the paper's 17324 for P=32).
+    pub bu_ac_gates: f64,
+    /// CRF + coefficient ROM gates (the paper's 15764 for P=32).
+    pub crf_rom_gates: f64,
+    /// BU + AC dynamic power at 300 MHz, mW (the paper's 17.68).
+    pub bu_ac_power_mw: f64,
+    /// Storage power at 300 MHz, mW (model estimate; not in the paper).
+    pub crf_rom_power_mw: f64,
+    /// Critical path of the whole extension, ns.
+    pub critical_path_ns: f64,
+}
+
+impl AsipCost {
+    /// Total extra gates over the base core.
+    pub fn total_gates(&self) -> u64 {
+        (self.bu_ac_gates + self.crf_rom_gates).round() as u64
+    }
+
+    /// Area overhead relative to the PISA base core.
+    pub fn overhead_vs_pisa(&self) -> f64 {
+        self.total_gates() as f64 / PISA_CORE_GATES as f64
+    }
+
+    /// Maximum clock frequency implied by the critical path, MHz.
+    pub fn max_clock_mhz(&self) -> f64 {
+        1000.0 / self.critical_path_ns
+    }
+}
+
+/// Energy of one transform: custom-hardware dynamic power integrated
+/// over the run time, in nanojoules.
+///
+/// `E = (P_bu_ac + P_crf_rom) * cycles / f`. Combined with the
+/// simulator's cycle counts this gives the energy-per-FFT figure the
+/// paper's power discussion implies (reported by the `hwcost`
+/// experiment).
+pub fn energy_per_transform_nj(cost: &AsipCost, cycles: u64, f_mhz: f64) -> f64 {
+    let power_mw = cost.bu_ac_power_mw + cost.crf_rom_power_mw;
+    // mW * us = nJ; time_us = cycles / f_mhz.
+    power_mw * (cycles as f64 / f_mhz)
+}
+
+/// Evaluates the full custom extension for group size `p_size`.
+///
+/// # Panics
+///
+/// Panics unless `p_size` is a power of two `>= 8`.
+pub fn asip_cost(lib: &TechLibrary, p_size: usize) -> AsipCost {
+    assert!(p_size.is_power_of_two() && p_size >= 8, "asip_cost: invalid P {p_size}");
+    let p = p_size.trailing_zeros();
+    let bu = bu_cost(lib);
+    let ac = ac_cost(lib, p);
+    let crf = register_file_cost(lib, p_size, 32, 8, 8);
+    let rom = rom_cost(lib, p_size / 2, 32);
+    AsipCost {
+        p_size,
+        bu_ac_gates: bu.gates + ac.gates,
+        crf_rom_gates: crf.gates + rom.gates,
+        bu_ac_power_mw: bu.power_mw(lib, 300.0) + ac.power_mw(lib, 300.0),
+        crf_rom_power_mw: crf.power_mw(lib, 300.0) + rom.power_mw(lib, 300.0),
+        critical_path_ns: bu.delay_ns.max(ac.delay_ns).max(crf.delay_ns).max(rom.delay_ns),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_config() -> AsipCost {
+        asip_cost(&TechLibrary::tsmc018(), 32)
+    }
+
+    #[test]
+    fn bu_ac_gates_match_paper_within_2_percent() {
+        let c = paper_config();
+        let rel = (c.bu_ac_gates - 17324.0).abs() / 17324.0;
+        assert!(rel < 0.02, "BU+AC {} vs 17324 ({:.1}%)", c.bu_ac_gates, rel * 100.0);
+    }
+
+    #[test]
+    fn crf_rom_gates_match_paper_within_2_percent() {
+        let c = paper_config();
+        let rel = (c.crf_rom_gates - 15764.0).abs() / 15764.0;
+        assert!(rel < 0.02, "CRF+ROM {} vs 15764 ({:.1}%)", c.crf_rom_gates, rel * 100.0);
+    }
+
+    #[test]
+    fn total_is_the_papers_33k() {
+        let c = paper_config();
+        assert!((32_000..=34_000).contains(&c.total_gates()), "total {}", c.total_gates());
+        assert!(c.overhead_vs_pisa() < 0.33);
+    }
+
+    #[test]
+    fn power_matches_paper_within_3_percent() {
+        let c = paper_config();
+        let rel = (c.bu_ac_power_mw - 17.68).abs() / 17.68;
+        assert!(rel < 0.03, "power {} vs 17.68 mW", c.bu_ac_power_mw);
+    }
+
+    #[test]
+    fn critical_path_is_the_bu_at_3_2ns() {
+        let c = paper_config();
+        assert!((c.critical_path_ns - 3.2).abs() < 0.05, "path {} ns", c.critical_path_ns);
+        assert!(c.max_clock_mhz() > 300.0 && c.max_clock_mhz() < 330.0);
+    }
+
+    #[test]
+    fn scaling_is_monotone_in_p() {
+        let lib = TechLibrary::tsmc018();
+        let mut prev = 0u64;
+        for p in [8usize, 16, 32, 64, 128] {
+            let c = asip_cost(&lib, p);
+            assert!(c.total_gates() > prev, "P={p}");
+            prev = c.total_gates();
+        }
+    }
+
+    #[test]
+    fn crf_dominates_growth_at_large_p() {
+        let lib = TechLibrary::tsmc018();
+        let c64 = asip_cost(&lib, 64);
+        let c128 = asip_cost(&lib, 128);
+        // BU is fixed; storage grows superlinearly (ports x entries).
+        let bu_growth = c128.bu_ac_gates / c64.bu_ac_gates;
+        let rf_growth = c128.crf_rom_gates / c64.crf_rom_gates;
+        assert!(rf_growth > 2.0 && bu_growth < 1.2);
+    }
+
+    #[test]
+    fn module_power_scales_linearly_with_frequency() {
+        let lib = TechLibrary::tsmc018();
+        let bu = bu_cost(&lib);
+        let p150 = bu.power_mw(&lib, 150.0);
+        let p300 = bu.power_mw(&lib, 300.0);
+        assert!((p300 / p150 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid P")]
+    fn rejects_tiny_group() {
+        let _ = asip_cost(&TechLibrary::tsmc018(), 4);
+    }
+
+    #[test]
+    fn energy_scales_with_cycles_and_inverse_frequency() {
+        let c = paper_config();
+        let e1 = energy_per_transform_nj(&c, 4168, 300.0);
+        let e2 = energy_per_transform_nj(&c, 8336, 300.0);
+        assert!((e2 / e1 - 2.0).abs() < 1e-12);
+        // Paper-regime sanity: a 1024-pt FFT in ~4k cycles at 300 MHz
+        // with ~25 mW total is a few hundred nJ.
+        assert!(e1 > 100.0 && e1 < 1000.0, "energy {e1} nJ");
+    }
+}

@@ -1,0 +1,331 @@
+//! A programmatic assembler with labels: the tool every program
+//! generator in `afft-asip` is built on.
+//!
+//! [`Asm`] buffers instructions and label references; [`Asm::assemble`]
+//! resolves branch offsets and jump targets and yields a [`Program`].
+
+use crate::instr::Instr;
+use crate::program::Program;
+use crate::reg::Reg;
+use core::fmt;
+use std::collections::HashMap;
+
+/// Errors produced when resolving an assembled program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A label was referenced but never defined.
+    UndefinedLabel {
+        /// The missing label.
+        label: String,
+    },
+    /// A label was defined twice.
+    DuplicateLabel {
+        /// The re-defined label.
+        label: String,
+    },
+    /// A branch target is further than a 16-bit word offset can reach.
+    BranchOutOfRange {
+        /// The label that was too far.
+        label: String,
+        /// The computed word offset.
+        offset: i64,
+    },
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UndefinedLabel { label } => write!(f, "undefined label `{label}`"),
+            AsmError::DuplicateLabel { label } => write!(f, "duplicate label `{label}`"),
+            AsmError::BranchOutOfRange { label, offset } => {
+                write!(f, "branch to `{label}` out of range (offset {offset} words)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+#[derive(Debug, Clone)]
+enum Item {
+    Fixed(Instr),
+    /// A raw data word (constant pool entry from `.word`).
+    Raw(u32),
+    /// Branch with the offset field to be patched from a label.
+    Branch(Instr, String),
+    /// Jump (`J`/`JAL`) with the target to be patched from a label.
+    Jump { link: bool, label: String },
+}
+
+/// An in-progress assembly unit.
+///
+/// # Examples
+///
+/// ```
+/// use afft_isa::{Asm, Instr, Reg};
+///
+/// let mut a = Asm::new();
+/// a.li(Reg::T0, 3);
+/// a.label("loop");
+/// a.emit(Instr::Addi { rt: Reg::T0, rs: Reg::T0, imm: -1 });
+/// a.bgtz_to(Reg::T0, "loop");
+/// a.emit(Instr::Halt);
+/// let program = a.assemble()?;
+/// assert_eq!(program.len(), 4);
+/// # Ok::<(), afft_isa::AsmError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Asm {
+    items: Vec<Item>,
+    labels: HashMap<String, usize>,
+}
+
+impl Asm {
+    /// Creates an empty assembly unit.
+    pub fn new() -> Self {
+        Asm::default()
+    }
+
+    /// Current instruction index (where the next emit lands).
+    pub fn here(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Appends a fixed instruction.
+    pub fn emit(&mut self, i: Instr) -> &mut Self {
+        self.items.push(Item::Fixed(i));
+        self
+    }
+
+    /// Appends a raw 32-bit data word (constant-pool entry). The word
+    /// occupies one slot in the image; jumping into it is the
+    /// program's responsibility to avoid.
+    pub fn emit_raw(&mut self, word: u32) -> &mut Self {
+        self.items.push(Item::Raw(word));
+        self
+    }
+
+    /// Defines `label` at the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already defined (programming error in a
+    /// generator; surfaced eagerly rather than at assemble time).
+    pub fn label(&mut self, label: &str) -> &mut Self {
+        let prev = self.labels.insert(label.to_string(), self.items.len());
+        assert!(prev.is_none(), "duplicate label `{label}`");
+        self
+    }
+
+    /// Loads a 32-bit constant with the shortest sequence
+    /// (`addi` / `ori` / `lui` / `lui+ori`).
+    pub fn li(&mut self, rd: Reg, value: i32) -> &mut Self {
+        let v = value as u32;
+        if (-32768..=32767).contains(&value) {
+            self.emit(Instr::Addi { rt: rd, rs: Reg::ZERO, imm: value as i16 });
+        } else if v & 0xffff_0000 == 0 {
+            self.emit(Instr::Ori { rt: rd, rs: Reg::ZERO, imm: v as u16 });
+        } else if v & 0xffff == 0 {
+            self.emit(Instr::Lui { rt: rd, imm: (v >> 16) as u16 });
+        } else {
+            self.emit(Instr::Lui { rt: rd, imm: (v >> 16) as u16 });
+            self.emit(Instr::Ori { rt: rd, rs: rd, imm: v as u16 });
+        }
+        self
+    }
+
+    /// Register move pseudo-instruction (`or rd, rs, zero`).
+    pub fn mv(&mut self, rd: Reg, rs: Reg) -> &mut Self {
+        self.emit(Instr::Or { rd, rs, rt: Reg::ZERO })
+    }
+
+    /// `beq rs, rt, label`.
+    pub fn beq_to(&mut self, rs: Reg, rt: Reg, label: &str) -> &mut Self {
+        self.items.push(Item::Branch(Instr::Beq { rs, rt, offset: 0 }, label.to_string()));
+        self
+    }
+
+    /// `bne rs, rt, label`.
+    pub fn bne_to(&mut self, rs: Reg, rt: Reg, label: &str) -> &mut Self {
+        self.items.push(Item::Branch(Instr::Bne { rs, rt, offset: 0 }, label.to_string()));
+        self
+    }
+
+    /// `blez rs, label`.
+    pub fn blez_to(&mut self, rs: Reg, label: &str) -> &mut Self {
+        self.items.push(Item::Branch(Instr::Blez { rs, offset: 0 }, label.to_string()));
+        self
+    }
+
+    /// `bgtz rs, label`.
+    pub fn bgtz_to(&mut self, rs: Reg, label: &str) -> &mut Self {
+        self.items.push(Item::Branch(Instr::Bgtz { rs, offset: 0 }, label.to_string()));
+        self
+    }
+
+    /// `bltz rs, label`.
+    pub fn bltz_to(&mut self, rs: Reg, label: &str) -> &mut Self {
+        self.items.push(Item::Branch(Instr::Bltz { rs, offset: 0 }, label.to_string()));
+        self
+    }
+
+    /// `bgez rs, label`.
+    pub fn bgez_to(&mut self, rs: Reg, label: &str) -> &mut Self {
+        self.items.push(Item::Branch(Instr::Bgez { rs, offset: 0 }, label.to_string()));
+        self
+    }
+
+    /// `j label`.
+    pub fn j_to(&mut self, label: &str) -> &mut Self {
+        self.items.push(Item::Jump { link: false, label: label.to_string() });
+        self
+    }
+
+    /// `jal label`.
+    pub fn jal_to(&mut self, label: &str) -> &mut Self {
+        self.items.push(Item::Jump { link: true, label: label.to_string() });
+        self
+    }
+
+    /// Resolves all label references and produces the program image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError`] for undefined labels or out-of-range branch
+    /// offsets.
+    pub fn assemble(&self) -> Result<Program, AsmError> {
+        let mut words = Vec::with_capacity(self.items.len());
+        for (idx, item) in self.items.iter().enumerate() {
+            let word = match item {
+                Item::Fixed(i) => i.encode(),
+                Item::Raw(w) => *w,
+                Item::Branch(i, label) => {
+                    let target = self.lookup(label)?;
+                    let offset = target as i64 - (idx as i64 + 1);
+                    if offset < i64::from(i16::MIN) || offset > i64::from(i16::MAX) {
+                        return Err(AsmError::BranchOutOfRange {
+                            label: label.clone(),
+                            offset,
+                        });
+                    }
+                    patch_branch(*i, offset as i16).encode()
+                }
+                Item::Jump { link, label } => {
+                    let target = self.lookup(label)? as u32;
+                    if *link {
+                        Instr::Jal { target }.encode()
+                    } else {
+                        Instr::J { target }.encode()
+                    }
+                }
+            };
+            words.push(word);
+        }
+        Ok(Program::from_words(words))
+    }
+
+    fn lookup(&self, label: &str) -> Result<usize, AsmError> {
+        self.labels
+            .get(label)
+            .copied()
+            .ok_or_else(|| AsmError::UndefinedLabel { label: label.to_string() })
+    }
+}
+
+fn patch_branch(i: Instr, offset: i16) -> Instr {
+    use Instr::*;
+    match i {
+        Beq { rs, rt, .. } => Beq { rs, rt, offset },
+        Bne { rs, rt, .. } => Bne { rs, rt, offset },
+        Blez { rs, .. } => Blez { rs, offset },
+        Bgtz { rs, .. } => Bgtz { rs, offset },
+        Bltz { rs, .. } => Bltz { rs, offset },
+        Bgez { rs, .. } => Bgez { rs, offset },
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_branches_resolve() {
+        let mut a = Asm::new();
+        a.li(Reg::T0, 2);
+        a.label("top");
+        a.emit(Instr::Addi { rt: Reg::T0, rs: Reg::T0, imm: -1 });
+        a.bne_to(Reg::T0, Reg::ZERO, "top");
+        a.beq_to(Reg::ZERO, Reg::ZERO, "end");
+        a.emit(Instr::Halt); // skipped
+        a.label("end");
+        a.emit(Instr::Halt);
+        let p = a.assemble().unwrap();
+        // bne at index 2 targets index 1: offset -2.
+        match p.instr_at(2).unwrap() {
+            Instr::Bne { offset, .. } => assert_eq!(offset, -2),
+            other => panic!("{other:?}"),
+        }
+        // beq at index 3 targets index 5: offset +1.
+        match p.instr_at(3).unwrap() {
+            Instr::Beq { offset, .. } => assert_eq!(offset, 1),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn jumps_get_absolute_word_targets() {
+        let mut a = Asm::new();
+        a.j_to("f");
+        a.emit(Instr::Halt);
+        a.label("f");
+        a.jal_to("f");
+        let p = a.assemble().unwrap();
+        assert_eq!(p.instr_at(0).unwrap(), Instr::J { target: 2 });
+        assert_eq!(p.instr_at(2).unwrap(), Instr::Jal { target: 2 });
+    }
+
+    #[test]
+    fn li_picks_shortest_encoding() {
+        let count = |v: i32| {
+            let mut a = Asm::new();
+            a.li(Reg::T0, v);
+            a.assemble().unwrap().len()
+        };
+        assert_eq!(count(0), 1);
+        assert_eq!(count(-1), 1);
+        assert_eq!(count(32767), 1);
+        assert_eq!(count(0x8000), 1); // ori
+        assert_eq!(count(0x10000), 1); // lui
+        assert_eq!(count(0x12345678), 2); // lui+ori
+    }
+
+    #[test]
+    fn undefined_label_is_an_error() {
+        let mut a = Asm::new();
+        a.j_to("nowhere");
+        assert_eq!(
+            a.assemble(),
+            Err(AsmError::UndefinedLabel { label: "nowhere".into() })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate label")]
+    fn duplicate_label_panics_eagerly() {
+        let mut a = Asm::new();
+        a.label("x");
+        a.label("x");
+    }
+
+    #[test]
+    fn mv_is_or_with_zero() {
+        let mut a = Asm::new();
+        a.mv(Reg::T1, Reg::T2);
+        let p = a.assemble().unwrap();
+        assert_eq!(
+            p.instr_at(0).unwrap(),
+            Instr::Or { rd: Reg::T1, rs: Reg::T2, rt: Reg::ZERO }
+        );
+    }
+}

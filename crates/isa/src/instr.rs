@@ -1,0 +1,604 @@
+//! The instruction set: a PISA-like 32-bit base ISA plus the paper's
+//! three custom FFT instructions (`BUT4`, `LDIN`, `STOUT`) and the
+//! configuration move `MTFFT` that loads the AC unit's context
+//! (transform size, group size, group id, pre-rotation state).
+//!
+//! Encodings are classic MIPS-style 32-bit words: R-type
+//! (`op rs rt rd shamt funct`), I-type (`op rs rt imm16`), and J-type
+//! (`op target26`). Custom instructions occupy opcodes `0x38..=0x3b`.
+//! There are no branch delay slots (a deliberate simplification of the
+//! timing model, documented in `afft-sim`).
+
+use crate::reg::Reg;
+use core::fmt;
+
+/// Selector for [`Instr::Mtfft`]: which AC-unit configuration register
+/// to write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum FftCfg {
+    /// `log2` of the current group size (`p` for epoch 0, `q` for 1).
+    GroupSizeLog2 = 0,
+    /// `log2 N` of the whole transform (pre-rotation exponent modulus).
+    NLog2 = 1,
+    /// Current group index (`l` in epoch 0, `s` in epoch 1).
+    GroupId = 2,
+    /// Pre-rotation enable: non-zero applies `W_N^{s*l}` on `STOUT`.
+    PrerotEnable = 3,
+    /// Byte base address of the compressed pre-rotation table in memory.
+    PrerotBase = 4,
+    /// Direct write of the CRF auto-increment load pointer.
+    LoadPtr = 5,
+    /// Direct write of the CRF auto-increment store pointer.
+    StorePtr = 6,
+    /// Inverse-transform enable: non-zero conjugates all coefficients.
+    InverseEnable = 7,
+    /// `LDIN` gather stride in points (1 = one contiguous 64-bit beat;
+    /// `Q` or `P` for the corner-turn epochs, which fetch two words).
+    LoadStride = 8,
+}
+
+impl FftCfg {
+    /// All selectors, in encoding order.
+    pub const ALL: [FftCfg; 9] = [
+        FftCfg::GroupSizeLog2,
+        FftCfg::NLog2,
+        FftCfg::GroupId,
+        FftCfg::PrerotEnable,
+        FftCfg::PrerotBase,
+        FftCfg::LoadPtr,
+        FftCfg::StorePtr,
+        FftCfg::InverseEnable,
+        FftCfg::LoadStride,
+    ];
+
+    /// Decodes a selector from its field value.
+    pub fn from_bits(v: u32) -> Option<FftCfg> {
+        Self::ALL.get(v as usize).copied()
+    }
+
+    /// Field value of this selector.
+    pub fn to_bits(self) -> u32 {
+        self as u32
+    }
+
+    /// Assembly mnemonic of the selector.
+    pub fn name(self) -> &'static str {
+        match self {
+            FftCfg::GroupSizeLog2 => "gsize",
+            FftCfg::NLog2 => "nlog2",
+            FftCfg::GroupId => "group",
+            FftCfg::PrerotEnable => "prerot",
+            FftCfg::PrerotBase => "prerotbase",
+            FftCfg::LoadPtr => "ldptr",
+            FftCfg::StorePtr => "stptr",
+            FftCfg::InverseEnable => "inverse",
+            FftCfg::LoadStride => "ldstride",
+        }
+    }
+
+    /// Parses a selector mnemonic.
+    pub fn parse(s: &str) -> Option<FftCfg> {
+        Self::ALL.into_iter().find(|c| c.name() == s)
+    }
+}
+
+/// One machine instruction, in decoded form.
+///
+/// # Examples
+///
+/// ```
+/// use afft_isa::{Instr, Reg};
+///
+/// let i = Instr::Addi { rt: Reg::T0, rs: Reg::ZERO, imm: 42 };
+/// let word = i.encode();
+/// assert_eq!(Instr::decode(word)?, i);
+/// # Ok::<(), afft_isa::DecodeError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)] // field meanings follow the MIPS conventions named in the variant docs
+pub enum Instr {
+    // --- R-type ALU ---
+    /// `rd <- rs + rt` (wrapping).
+    Add { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd <- rs - rt` (wrapping).
+    Sub { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd <- rs & rt`.
+    And { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd <- rs | rt`.
+    Or { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd <- rs ^ rt`.
+    Xor { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd <- !(rs | rt)`.
+    Nor { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd <- (rs as i32) < (rt as i32)`.
+    Slt { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd <- (rs as u32) < (rt as u32)`.
+    Sltu { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd <- rt << shamt`.
+    Sll { rd: Reg, rt: Reg, shamt: u8 },
+    /// `rd <- rt >> shamt` (logical).
+    Srl { rd: Reg, rt: Reg, shamt: u8 },
+    /// `rd <- rt >> shamt` (arithmetic).
+    Sra { rd: Reg, rt: Reg, shamt: u8 },
+    /// `rd <- rt << (rs & 31)`.
+    Sllv { rd: Reg, rt: Reg, rs: Reg },
+    /// `rd <- rt >> (rs & 31)` (logical).
+    Srlv { rd: Reg, rt: Reg, rs: Reg },
+    /// `rd <- rt >> (rs & 31)` (arithmetic).
+    Srav { rd: Reg, rt: Reg, rs: Reg },
+    /// `rd <- low32(rs * rt)` (signed multiply).
+    Mul { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd <- high32(rs * rt)` (signed).
+    Mulh { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd <- high32(rs * rt)` (unsigned).
+    Mulhu { rd: Reg, rs: Reg, rt: Reg },
+    /// Jump to `rs`.
+    Jr { rs: Reg },
+    /// `rd <- pc + 4`; jump to `rs`.
+    Jalr { rd: Reg, rs: Reg },
+    /// Stop the simulation.
+    Halt,
+
+    // --- I-type ---
+    /// `rt <- rs + sign_extend(imm)` (wrapping).
+    Addi { rt: Reg, rs: Reg, imm: i16 },
+    /// `rt <- (rs as i32) < sign_extend(imm)`.
+    Slti { rt: Reg, rs: Reg, imm: i16 },
+    /// `rt <- rs & zero_extend(imm)`.
+    Andi { rt: Reg, rs: Reg, imm: u16 },
+    /// `rt <- rs | zero_extend(imm)`.
+    Ori { rt: Reg, rs: Reg, imm: u16 },
+    /// `rt <- rs ^ zero_extend(imm)`.
+    Xori { rt: Reg, rs: Reg, imm: u16 },
+    /// `rt <- imm << 16`.
+    Lui { rt: Reg, imm: u16 },
+    /// `rt <- mem32[rs + offset]`.
+    Lw { rt: Reg, base: Reg, offset: i16 },
+    /// `rt <- sign_extend(mem16[rs + offset])`.
+    Lh { rt: Reg, base: Reg, offset: i16 },
+    /// `rt <- zero_extend(mem16[rs + offset])`.
+    Lhu { rt: Reg, base: Reg, offset: i16 },
+    /// `mem32[rs + offset] <- rt`.
+    Sw { rt: Reg, base: Reg, offset: i16 },
+    /// `mem16[rs + offset] <- rt[15:0]`.
+    Sh { rt: Reg, base: Reg, offset: i16 },
+    /// Branch if `rs == rt` (offset in words from the next pc).
+    Beq { rs: Reg, rt: Reg, offset: i16 },
+    /// Branch if `rs != rt`.
+    Bne { rs: Reg, rt: Reg, offset: i16 },
+    /// Branch if `rs <= 0` (signed).
+    Blez { rs: Reg, offset: i16 },
+    /// Branch if `rs > 0` (signed).
+    Bgtz { rs: Reg, offset: i16 },
+    /// Branch if `rs < 0` (signed).
+    Bltz { rs: Reg, offset: i16 },
+    /// Branch if `rs >= 0` (signed).
+    Bgez { rs: Reg, offset: i16 },
+
+    // --- J-type ---
+    /// Absolute jump (word target within the 256 MiB page).
+    J { target: u32 },
+    /// Absolute call: `ra <- pc + 4`, jump.
+    Jal { target: u32 },
+
+    // --- Custom FFT extension ---
+    /// One butterfly-unit operation: 4 parallel radix-2 butterflies on
+    /// the CRF. `stage` register holds `j` (1-based), `module` holds `i`
+    /// (1-based); the AC unit derives all 8 CRF addresses and 4 ROM
+    /// addresses from these two values.
+    But4 { stage: Reg, module: Reg },
+    /// Load two complex points `mem64[base + offset]` into the CRF at
+    /// the auto-incrementing load pointer.
+    Ldin { base: Reg, offset: i16 },
+    /// Store two complex points from the CRF (bit-reversed read through
+    /// the AC unit, pre-rotated when enabled) to `mem64[base + offset]`;
+    /// the store pointer auto-increments.
+    Stout { base: Reg, offset: i16 },
+    /// Write AC-unit configuration register `sel` from GPR `rs`.
+    Mtfft { rs: Reg, sel: FftCfg },
+}
+
+/// Error returned by [`Instr::decode`] for invalid instruction words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The word that failed to decode.
+    pub word: u32,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cannot decode instruction word {:#010x}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+// Opcodes.
+const OP_SPECIAL: u32 = 0x00;
+const OP_REGIMM: u32 = 0x01;
+const OP_J: u32 = 0x02;
+const OP_JAL: u32 = 0x03;
+const OP_BEQ: u32 = 0x04;
+const OP_BNE: u32 = 0x05;
+const OP_BLEZ: u32 = 0x06;
+const OP_BGTZ: u32 = 0x07;
+const OP_ADDI: u32 = 0x08;
+const OP_SLTI: u32 = 0x0a;
+const OP_ANDI: u32 = 0x0c;
+const OP_ORI: u32 = 0x0d;
+const OP_XORI: u32 = 0x0e;
+const OP_LUI: u32 = 0x0f;
+const OP_LH: u32 = 0x21;
+const OP_LW: u32 = 0x23;
+const OP_LHU: u32 = 0x25;
+const OP_SH: u32 = 0x29;
+const OP_SW: u32 = 0x2b;
+const OP_BUT4: u32 = 0x38;
+const OP_LDIN: u32 = 0x39;
+const OP_STOUT: u32 = 0x3a;
+const OP_MTFFT: u32 = 0x3b;
+
+// SPECIAL functs.
+const F_SLL: u32 = 0x00;
+const F_SRL: u32 = 0x02;
+const F_SRA: u32 = 0x03;
+const F_SLLV: u32 = 0x04;
+const F_SRLV: u32 = 0x06;
+const F_SRAV: u32 = 0x07;
+const F_JR: u32 = 0x08;
+const F_JALR: u32 = 0x09;
+const F_HALT: u32 = 0x0c;
+const F_MUL: u32 = 0x18;
+const F_MULH: u32 = 0x19;
+const F_MULHU: u32 = 0x1a;
+const F_ADD: u32 = 0x20;
+const F_SUB: u32 = 0x22;
+const F_AND: u32 = 0x24;
+const F_OR: u32 = 0x25;
+const F_XOR: u32 = 0x26;
+const F_NOR: u32 = 0x27;
+const F_SLT: u32 = 0x2a;
+const F_SLTU: u32 = 0x2b;
+
+fn r_type(funct: u32, rs: Reg, rt: Reg, rd: Reg, shamt: u8) -> u32 {
+    (u32::from(rs) << 21)
+        | (u32::from(rt) << 16)
+        | (u32::from(rd) << 11)
+        | (u32::from(shamt) << 6)
+        | funct
+}
+
+fn i_type(op: u32, rs: Reg, rt: Reg, imm: u16) -> u32 {
+    (op << 26) | (u32::from(rs) << 21) | (u32::from(rt) << 16) | u32::from(imm)
+}
+
+impl Instr {
+    /// A canonical no-op (`sll zero, zero, 0`).
+    pub const NOP: Instr = Instr::Sll { rd: Reg::ZERO, rt: Reg::ZERO, shamt: 0 };
+
+    /// Encodes to a 32-bit instruction word.
+    pub fn encode(self) -> u32 {
+        use Instr::*;
+        let z = Reg::ZERO;
+        match self {
+            Add { rd, rs, rt } => r_type(F_ADD, rs, rt, rd, 0),
+            Sub { rd, rs, rt } => r_type(F_SUB, rs, rt, rd, 0),
+            And { rd, rs, rt } => r_type(F_AND, rs, rt, rd, 0),
+            Or { rd, rs, rt } => r_type(F_OR, rs, rt, rd, 0),
+            Xor { rd, rs, rt } => r_type(F_XOR, rs, rt, rd, 0),
+            Nor { rd, rs, rt } => r_type(F_NOR, rs, rt, rd, 0),
+            Slt { rd, rs, rt } => r_type(F_SLT, rs, rt, rd, 0),
+            Sltu { rd, rs, rt } => r_type(F_SLTU, rs, rt, rd, 0),
+            Sll { rd, rt, shamt } => r_type(F_SLL, z, rt, rd, shamt),
+            Srl { rd, rt, shamt } => r_type(F_SRL, z, rt, rd, shamt),
+            Sra { rd, rt, shamt } => r_type(F_SRA, z, rt, rd, shamt),
+            Sllv { rd, rt, rs } => r_type(F_SLLV, rs, rt, rd, 0),
+            Srlv { rd, rt, rs } => r_type(F_SRLV, rs, rt, rd, 0),
+            Srav { rd, rt, rs } => r_type(F_SRAV, rs, rt, rd, 0),
+            Mul { rd, rs, rt } => r_type(F_MUL, rs, rt, rd, 0),
+            Mulh { rd, rs, rt } => r_type(F_MULH, rs, rt, rd, 0),
+            Mulhu { rd, rs, rt } => r_type(F_MULHU, rs, rt, rd, 0),
+            Jr { rs } => r_type(F_JR, rs, z, z, 0),
+            Jalr { rd, rs } => r_type(F_JALR, rs, z, rd, 0),
+            Halt => r_type(F_HALT, z, z, z, 0),
+            Addi { rt, rs, imm } => i_type(OP_ADDI, rs, rt, imm as u16),
+            Slti { rt, rs, imm } => i_type(OP_SLTI, rs, rt, imm as u16),
+            Andi { rt, rs, imm } => i_type(OP_ANDI, rs, rt, imm),
+            Ori { rt, rs, imm } => i_type(OP_ORI, rs, rt, imm),
+            Xori { rt, rs, imm } => i_type(OP_XORI, rs, rt, imm),
+            Lui { rt, imm } => i_type(OP_LUI, z, rt, imm),
+            Lw { rt, base, offset } => i_type(OP_LW, base, rt, offset as u16),
+            Lh { rt, base, offset } => i_type(OP_LH, base, rt, offset as u16),
+            Lhu { rt, base, offset } => i_type(OP_LHU, base, rt, offset as u16),
+            Sw { rt, base, offset } => i_type(OP_SW, base, rt, offset as u16),
+            Sh { rt, base, offset } => i_type(OP_SH, base, rt, offset as u16),
+            Beq { rs, rt, offset } => i_type(OP_BEQ, rs, rt, offset as u16),
+            Bne { rs, rt, offset } => i_type(OP_BNE, rs, rt, offset as u16),
+            Blez { rs, offset } => i_type(OP_BLEZ, rs, z, offset as u16),
+            Bgtz { rs, offset } => i_type(OP_BGTZ, rs, z, offset as u16),
+            Bltz { rs, offset } => i_type(OP_REGIMM, rs, Reg::new(0), offset as u16),
+            Bgez { rs, offset } => i_type(OP_REGIMM, rs, Reg::new(1), offset as u16),
+            J { target } => (OP_J << 26) | (target & 0x03ff_ffff),
+            Jal { target } => (OP_JAL << 26) | (target & 0x03ff_ffff),
+            But4 { stage, module } => i_type(OP_BUT4, stage, module, 0),
+            Ldin { base, offset } => i_type(OP_LDIN, base, z, offset as u16),
+            Stout { base, offset } => i_type(OP_STOUT, base, z, offset as u16),
+            Mtfft { rs, sel } => i_type(OP_MTFFT, rs, Reg::new(sel.to_bits() as u8), 0),
+        }
+    }
+
+    /// Decodes a 32-bit instruction word.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] for unknown opcodes or function codes.
+    pub fn decode(word: u32) -> Result<Instr, DecodeError> {
+        use Instr::*;
+        let op = word >> 26;
+        let rs = Reg::new(((word >> 21) & 31) as u8);
+        let rt = Reg::new(((word >> 16) & 31) as u8);
+        let rd = Reg::new(((word >> 11) & 31) as u8);
+        let shamt = ((word >> 6) & 31) as u8;
+        let imm = (word & 0xffff) as u16;
+        let simm = imm as i16;
+        let err = DecodeError { word };
+        Ok(match op {
+            OP_SPECIAL => match word & 0x3f {
+                F_SLL => Sll { rd, rt, shamt },
+                F_SRL => Srl { rd, rt, shamt },
+                F_SRA => Sra { rd, rt, shamt },
+                F_SLLV => Sllv { rd, rt, rs },
+                F_SRLV => Srlv { rd, rt, rs },
+                F_SRAV => Srav { rd, rt, rs },
+                F_JR => Jr { rs },
+                F_JALR => Jalr { rd, rs },
+                F_HALT => Halt,
+                F_MUL => Mul { rd, rs, rt },
+                F_MULH => Mulh { rd, rs, rt },
+                F_MULHU => Mulhu { rd, rs, rt },
+                F_ADD => Add { rd, rs, rt },
+                F_SUB => Sub { rd, rs, rt },
+                F_AND => And { rd, rs, rt },
+                F_OR => Or { rd, rs, rt },
+                F_XOR => Xor { rd, rs, rt },
+                F_NOR => Nor { rd, rs, rt },
+                F_SLT => Slt { rd, rs, rt },
+                F_SLTU => Sltu { rd, rs, rt },
+                _ => return Err(err),
+            },
+            OP_REGIMM => match rt.index() {
+                0 => Bltz { rs, offset: simm },
+                1 => Bgez { rs, offset: simm },
+                _ => return Err(err),
+            },
+            OP_J => J { target: word & 0x03ff_ffff },
+            OP_JAL => Jal { target: word & 0x03ff_ffff },
+            OP_BEQ => Beq { rs, rt, offset: simm },
+            OP_BNE => Bne { rs, rt, offset: simm },
+            OP_BLEZ => Blez { rs, offset: simm },
+            OP_BGTZ => Bgtz { rs, offset: simm },
+            OP_ADDI => Addi { rt, rs, imm: simm },
+            OP_SLTI => Slti { rt, rs, imm: simm },
+            OP_ANDI => Andi { rt, rs, imm },
+            OP_ORI => Ori { rt, rs, imm },
+            OP_XORI => Xori { rt, rs, imm },
+            OP_LUI => Lui { rt, imm },
+            OP_LW => Lw { rt, base: rs, offset: simm },
+            OP_LH => Lh { rt, base: rs, offset: simm },
+            OP_LHU => Lhu { rt, base: rs, offset: simm },
+            OP_SW => Sw { rt, base: rs, offset: simm },
+            OP_SH => Sh { rt, base: rs, offset: simm },
+            OP_BUT4 => But4 { stage: rs, module: rt },
+            OP_LDIN => Ldin { base: rs, offset: simm },
+            OP_STOUT => Stout { base: rs, offset: simm },
+            OP_MTFFT => {
+                let sel = FftCfg::from_bits(rt.index() as u32).ok_or(err)?;
+                Mtfft { rs, sel }
+            }
+            _ => return Err(err),
+        })
+    }
+
+    /// True for control-transfer instructions (branches, jumps, halt).
+    pub fn is_control(self) -> bool {
+        use Instr::*;
+        matches!(
+            self,
+            Jr { .. }
+                | Jalr { .. }
+                | Halt
+                | Beq { .. }
+                | Bne { .. }
+                | Blez { .. }
+                | Bgtz { .. }
+                | Bltz { .. }
+                | Bgez { .. }
+                | J { .. }
+                | Jal { .. }
+        )
+    }
+
+    /// True for the custom FFT extension instructions.
+    pub fn is_custom(self) -> bool {
+        matches!(
+            self,
+            Instr::But4 { .. } | Instr::Ldin { .. } | Instr::Stout { .. } | Instr::Mtfft { .. }
+        )
+    }
+
+    /// True for base-ISA memory instructions (`lw/lh/lhu/sw/sh`).
+    pub fn is_base_mem(self) -> bool {
+        use Instr::*;
+        matches!(self, Lw { .. } | Lh { .. } | Lhu { .. } | Sw { .. } | Sh { .. })
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Instr::*;
+        match *self {
+            Add { rd, rs, rt } => write!(f, "add {rd}, {rs}, {rt}"),
+            Sub { rd, rs, rt } => write!(f, "sub {rd}, {rs}, {rt}"),
+            And { rd, rs, rt } => write!(f, "and {rd}, {rs}, {rt}"),
+            Or { rd, rs, rt } => write!(f, "or {rd}, {rs}, {rt}"),
+            Xor { rd, rs, rt } => write!(f, "xor {rd}, {rs}, {rt}"),
+            Nor { rd, rs, rt } => write!(f, "nor {rd}, {rs}, {rt}"),
+            Slt { rd, rs, rt } => write!(f, "slt {rd}, {rs}, {rt}"),
+            Sltu { rd, rs, rt } => write!(f, "sltu {rd}, {rs}, {rt}"),
+            Sll { rd, rt, shamt } => write!(f, "sll {rd}, {rt}, {shamt}"),
+            Srl { rd, rt, shamt } => write!(f, "srl {rd}, {rt}, {shamt}"),
+            Sra { rd, rt, shamt } => write!(f, "sra {rd}, {rt}, {shamt}"),
+            Sllv { rd, rt, rs } => write!(f, "sllv {rd}, {rt}, {rs}"),
+            Srlv { rd, rt, rs } => write!(f, "srlv {rd}, {rt}, {rs}"),
+            Srav { rd, rt, rs } => write!(f, "srav {rd}, {rt}, {rs}"),
+            Mul { rd, rs, rt } => write!(f, "mul {rd}, {rs}, {rt}"),
+            Mulh { rd, rs, rt } => write!(f, "mulh {rd}, {rs}, {rt}"),
+            Mulhu { rd, rs, rt } => write!(f, "mulhu {rd}, {rs}, {rt}"),
+            Jr { rs } => write!(f, "jr {rs}"),
+            Jalr { rd, rs } => write!(f, "jalr {rd}, {rs}"),
+            Halt => write!(f, "halt"),
+            Addi { rt, rs, imm } => write!(f, "addi {rt}, {rs}, {imm}"),
+            Slti { rt, rs, imm } => write!(f, "slti {rt}, {rs}, {imm}"),
+            Andi { rt, rs, imm } => write!(f, "andi {rt}, {rs}, {imm:#x}"),
+            Ori { rt, rs, imm } => write!(f, "ori {rt}, {rs}, {imm:#x}"),
+            Xori { rt, rs, imm } => write!(f, "xori {rt}, {rs}, {imm:#x}"),
+            Lui { rt, imm } => write!(f, "lui {rt}, {imm:#x}"),
+            Lw { rt, base, offset } => write!(f, "lw {rt}, {offset}({base})"),
+            Lh { rt, base, offset } => write!(f, "lh {rt}, {offset}({base})"),
+            Lhu { rt, base, offset } => write!(f, "lhu {rt}, {offset}({base})"),
+            Sw { rt, base, offset } => write!(f, "sw {rt}, {offset}({base})"),
+            Sh { rt, base, offset } => write!(f, "sh {rt}, {offset}({base})"),
+            Beq { rs, rt, offset } => write!(f, "beq {rs}, {rt}, {offset}"),
+            Bne { rs, rt, offset } => write!(f, "bne {rs}, {rt}, {offset}"),
+            Blez { rs, offset } => write!(f, "blez {rs}, {offset}"),
+            Bgtz { rs, offset } => write!(f, "bgtz {rs}, {offset}"),
+            Bltz { rs, offset } => write!(f, "bltz {rs}, {offset}"),
+            Bgez { rs, offset } => write!(f, "bgez {rs}, {offset}"),
+            J { target } => write!(f, "j {:#x}", target << 2),
+            Jal { target } => write!(f, "jal {:#x}", target << 2),
+            But4 { stage, module } => write!(f, "but4 {stage}, {module}"),
+            Ldin { base, offset } => write!(f, "ldin {offset}({base})"),
+            Stout { base, offset } => write!(f, "stout {offset}({base})"),
+            Mtfft { rs, sel } => write!(f, "mtfft {rs}, {}", sel.name()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_instrs() -> Vec<Instr> {
+        use Instr::*;
+        let (a, b, c) = (Reg::T0, Reg::T1, Reg::T2);
+        vec![
+            Add { rd: a, rs: b, rt: c },
+            Sub { rd: a, rs: b, rt: c },
+            And { rd: a, rs: b, rt: c },
+            Or { rd: a, rs: b, rt: c },
+            Xor { rd: a, rs: b, rt: c },
+            Nor { rd: a, rs: b, rt: c },
+            Slt { rd: a, rs: b, rt: c },
+            Sltu { rd: a, rs: b, rt: c },
+            Sll { rd: a, rt: c, shamt: 7 },
+            Srl { rd: a, rt: c, shamt: 31 },
+            Sra { rd: a, rt: c, shamt: 1 },
+            Sllv { rd: a, rt: c, rs: b },
+            Srlv { rd: a, rt: c, rs: b },
+            Srav { rd: a, rt: c, rs: b },
+            Mul { rd: a, rs: b, rt: c },
+            Mulh { rd: a, rs: b, rt: c },
+            Mulhu { rd: a, rs: b, rt: c },
+            Jr { rs: Reg::RA },
+            Jalr { rd: Reg::RA, rs: a },
+            Halt,
+            Addi { rt: a, rs: b, imm: -5 },
+            Slti { rt: a, rs: b, imm: 100 },
+            Andi { rt: a, rs: b, imm: 0xffff },
+            Ori { rt: a, rs: b, imm: 0x8000 },
+            Xori { rt: a, rs: b, imm: 1 },
+            Lui { rt: a, imm: 0xdead },
+            Lw { rt: a, base: Reg::SP, offset: -8 },
+            Lh { rt: a, base: b, offset: 2 },
+            Lhu { rt: a, base: b, offset: 6 },
+            Sw { rt: a, base: Reg::SP, offset: 12 },
+            Sh { rt: a, base: b, offset: 0 },
+            Beq { rs: a, rt: b, offset: -3 },
+            Bne { rs: a, rt: b, offset: 3 },
+            Blez { rs: a, offset: 1 },
+            Bgtz { rs: a, offset: -1 },
+            Bltz { rs: a, offset: 5 },
+            Bgez { rs: a, offset: -5 },
+            J { target: 0x123456 },
+            Jal { target: 0x2 },
+            But4 { stage: a, module: b },
+            Ldin { base: a, offset: 16 },
+            Stout { base: a, offset: -16 },
+            Mtfft { rs: a, sel: FftCfg::GroupId },
+            Instr::NOP,
+        ]
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for i in sample_instrs() {
+            let w = i.encode();
+            let d = Instr::decode(w).unwrap_or_else(|e| panic!("{i}: {e}"));
+            assert_eq!(d, i, "word {w:#010x}");
+        }
+    }
+
+    #[test]
+    fn all_cfg_selectors_roundtrip() {
+        for sel in FftCfg::ALL {
+            let i = Instr::Mtfft { rs: Reg::T3, sel };
+            assert_eq!(Instr::decode(i.encode()).unwrap(), i);
+            assert_eq!(FftCfg::parse(sel.name()), Some(sel));
+        }
+    }
+
+    #[test]
+    fn decode_rejects_unknown() {
+        assert!(Instr::decode(0xffff_ffff).is_err());
+        // SPECIAL with bogus funct.
+        assert!(Instr::decode(0x0000_003f).is_err());
+        // REGIMM with rt = 5.
+        assert!(Instr::decode((0x01 << 26) | (5 << 16)).is_err());
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Instr::Halt.is_control());
+        assert!(Instr::J { target: 0 }.is_control());
+        assert!(!Instr::NOP.is_control());
+        assert!(Instr::But4 { stage: Reg::T0, module: Reg::T1 }.is_custom());
+        assert!(Instr::Lw { rt: Reg::T0, base: Reg::T1, offset: 0 }.is_base_mem());
+        assert!(!Instr::Ldin { base: Reg::T0, offset: 0 }.is_base_mem());
+    }
+
+    #[test]
+    fn nop_encodes_to_zero() {
+        assert_eq!(Instr::NOP.encode(), 0);
+        assert_eq!(Instr::decode(0).unwrap(), Instr::NOP);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let i = Instr::Addi { rt: Reg::T0, rs: Reg::ZERO, imm: 42 };
+        assert_eq!(i.to_string(), "addi t0, zero, 42");
+        let i = Instr::Ldin { base: Reg::S0, offset: 8 };
+        assert_eq!(i.to_string(), "ldin 8(s0)");
+        let i = Instr::Mtfft { rs: Reg::A0, sel: FftCfg::PrerotEnable };
+        assert_eq!(i.to_string(), "mtfft a0, prerot");
+    }
+
+    #[test]
+    fn negative_offsets_sign_extend() {
+        let i = Instr::Lw { rt: Reg::T0, base: Reg::SP, offset: -4 };
+        match Instr::decode(i.encode()).unwrap() {
+            Instr::Lw { offset, .. } => assert_eq!(offset, -4),
+            other => panic!("decoded {other:?}"),
+        }
+    }
+}

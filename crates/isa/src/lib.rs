@@ -1,0 +1,41 @@
+//! Instruction-set definition for the array-FFT ASIP: a PISA-like
+//! 32-bit base ISA extended with the paper's custom instructions
+//! (`BUT4`, `LDIN`, `STOUT`, plus the `MTFFT` configuration move), an
+//! encoder/decoder, a programmatic assembler with labels, and a text
+//! assembler.
+//!
+//! Execution semantics live in `afft-sim`; this crate is the pure
+//! architectural definition shared by the simulator, the program
+//! generators of `afft-asip`, and the baseline models.
+//!
+//! # Examples
+//!
+//! ```
+//! use afft_isa::{Asm, Instr, Reg};
+//!
+//! let mut a = Asm::new();
+//! a.li(Reg::T0, 8);
+//! a.label("loop");
+//! a.emit(Instr::Ldin { base: Reg::S0, offset: 0 });
+//! a.emit(Instr::Addi { rt: Reg::S0, rs: Reg::S0, imm: 8 });
+//! a.emit(Instr::Addi { rt: Reg::T0, rs: Reg::T0, imm: -1 });
+//! a.bgtz_to(Reg::T0, "loop");
+//! a.emit(Instr::Halt);
+//! let program = a.assemble()?;
+//! assert_eq!(program.len(), 6);
+//! # Ok::<(), afft_isa::AsmError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod instr;
+pub mod parser;
+pub mod program;
+pub mod reg;
+
+pub use asm::{Asm, AsmError};
+pub use instr::{DecodeError, FftCfg, Instr};
+pub use program::Program;
+pub use reg::Reg;

@@ -1,0 +1,443 @@
+//! A small two-pass text assembler over the same syntax the
+//! disassembler prints, plus labels and comments.
+//!
+//! Supported line forms:
+//!
+//! ```text
+//! # comment            ; also a comment
+//! loop:                # label definition (may share a line with code)
+//!     addi t0, t0, -1
+//!     lw   t1, 8(sp)
+//!     bne  t0, zero, loop
+//!     but4 t2, t3
+//!     ldin 0(s0)
+//!     mtfft a0, group
+//!     j    end
+//! end: halt
+//! ```
+
+use crate::asm::{Asm, AsmError};
+use crate::instr::{FftCfg, Instr};
+use crate::program::Program;
+use crate::reg::Reg;
+use core::fmt;
+
+/// Error from the text assembler, with a 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<AsmError> for ParseError {
+    fn from(e: AsmError) -> Self {
+        ParseError { line: 0, message: e.to_string() }
+    }
+}
+
+/// Assembles source text into a [`Program`].
+///
+/// # Errors
+///
+/// Returns [`ParseError`] with the offending line for syntax errors,
+/// unknown mnemonics or unresolved labels.
+///
+/// # Examples
+///
+/// ```
+/// let p = afft_isa::parser::assemble_text(
+///     "      li   v0, 41
+///            addi v0, v0, 1
+///            halt",
+/// )?;
+/// assert_eq!(p.len(), 3);
+/// # Ok::<(), afft_isa::parser::ParseError>(())
+/// ```
+pub fn assemble_text(source: &str) -> Result<Program, ParseError> {
+    let mut asm = Asm::new();
+    for (lineno, raw) in source.lines().enumerate() {
+        let line = lineno + 1;
+        let mut text = raw;
+        if let Some(idx) = text.find(['#', ';']) {
+            text = &text[..idx];
+        }
+        let mut text = text.trim();
+        // Labels (possibly several) at line start.
+        while let Some(colon) = text.find(':') {
+            let (head, rest) = text.split_at(colon);
+            let label = head.trim();
+            if label.is_empty() || label.contains(char::is_whitespace) {
+                break;
+            }
+            if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                asm.label(label);
+            }))
+            .is_err()
+            {
+                return Err(ParseError { line, message: format!("duplicate label `{label}`") });
+            }
+            text = rest[1..].trim();
+        }
+        if text.is_empty() {
+            continue;
+        }
+        if let Some(directive) = text.strip_prefix('.') {
+            parse_directive(&mut asm, directive, line)?;
+            continue;
+        }
+        parse_instruction(&mut asm, text, line)?;
+    }
+    asm.assemble().map_err(|e| ParseError { line: 0, message: e.to_string() })
+}
+
+/// Data directives: `.word v[, v...]` emits raw 32-bit words into the
+/// instruction stream (constant pools); `.nop n` emits `n` no-ops
+/// (alignment padding / timing filler).
+fn parse_directive(asm: &mut Asm, text: &str, line: usize) -> Result<(), ParseError> {
+    let err = |message: String| ParseError { line, message };
+    let (name, rest) = match text.split_once(char::is_whitespace) {
+        Some((n, r)) => (n, r.trim()),
+        None => (text, ""),
+    };
+    match name {
+        "word" => {
+            if rest.is_empty() {
+                return Err(err(".word needs at least one value".into()));
+            }
+            for v in rest.split(',') {
+                let v = parse_int(v)
+                    .filter(|&v| i64::from(i32::MIN) <= v && v <= i64::from(u32::MAX))
+                    .ok_or_else(|| err(format!("bad .word value `{v}`")))?;
+                asm.emit_raw(v as u32);
+            }
+        }
+        "nop" => {
+            let count = parse_int(rest)
+                .and_then(|v| usize::try_from(v).ok())
+                .filter(|&v| v <= 4096)
+                .ok_or_else(|| err(format!("bad .nop count `{rest}`")))?;
+            for _ in 0..count {
+                asm.emit(crate::instr::Instr::NOP);
+            }
+        }
+        other => return Err(err(format!("unknown directive `.{other}`"))),
+    }
+    Ok(())
+}
+
+fn parse_instruction(asm: &mut Asm, text: &str, line: usize) -> Result<(), ParseError> {
+    let err = |message: String| ParseError { line, message };
+    let (mnemonic, rest) = match text.split_once(char::is_whitespace) {
+        Some((m, r)) => (m, r.trim()),
+        None => (text, ""),
+    };
+    let ops: Vec<&str> =
+        rest.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+    let reg = |s: &str| Reg::parse(s).ok_or_else(|| err(format!("bad register `{s}`")));
+    let imm16 = |s: &str| -> Result<i16, ParseError> {
+        parse_int(s)
+            .and_then(|v| i16::try_from(v).ok())
+            .ok_or_else(|| err(format!("bad immediate `{s}`")))
+    };
+    let uimm16 = |s: &str| -> Result<u16, ParseError> {
+        parse_int(s)
+            .and_then(|v| u16::try_from(v as u32 & 0xffff).ok().filter(|_| (0..=0xffff).contains(&v)))
+            .ok_or_else(|| err(format!("bad immediate `{s}`")))
+    };
+    let need = |n: usize| -> Result<(), ParseError> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            Err(err(format!("`{mnemonic}` expects {n} operands, got {}", ops.len())))
+        }
+    };
+    // `offset(base)` addressing.
+    let mem = |s: &str| -> Result<(Reg, i16), ParseError> {
+        let open = s.find('(').ok_or_else(|| err(format!("bad address `{s}`")))?;
+        let close = s.rfind(')').ok_or_else(|| err(format!("bad address `{s}`")))?;
+        let off = s[..open].trim();
+        let off =
+            if off.is_empty() { 0 } else { imm16(off)? };
+        let base = reg(s[open + 1..close].trim())?;
+        Ok((base, off))
+    };
+
+    use Instr::*;
+    let three_r = |f: fn(Reg, Reg, Reg) -> Instr| -> Result<Instr, ParseError> {
+        need(3)?;
+        Ok(f(reg(ops[0])?, reg(ops[1])?, reg(ops[2])?))
+    };
+    match mnemonic {
+        "add" => asm.emit(three_r(|rd, rs, rt| Add { rd, rs, rt })?),
+        "sub" => asm.emit(three_r(|rd, rs, rt| Sub { rd, rs, rt })?),
+        "and" => asm.emit(three_r(|rd, rs, rt| And { rd, rs, rt })?),
+        "or" => asm.emit(three_r(|rd, rs, rt| Or { rd, rs, rt })?),
+        "xor" => asm.emit(three_r(|rd, rs, rt| Xor { rd, rs, rt })?),
+        "nor" => asm.emit(three_r(|rd, rs, rt| Nor { rd, rs, rt })?),
+        "slt" => asm.emit(three_r(|rd, rs, rt| Slt { rd, rs, rt })?),
+        "sltu" => asm.emit(three_r(|rd, rs, rt| Sltu { rd, rs, rt })?),
+        "mul" => asm.emit(three_r(|rd, rs, rt| Mul { rd, rs, rt })?),
+        "mulh" => asm.emit(three_r(|rd, rs, rt| Mulh { rd, rs, rt })?),
+        "mulhu" => asm.emit(three_r(|rd, rs, rt| Mulhu { rd, rs, rt })?),
+        "sllv" => asm.emit(three_r(|rd, rt, rs| Sllv { rd, rt, rs })?),
+        "srlv" => asm.emit(three_r(|rd, rt, rs| Srlv { rd, rt, rs })?),
+        "srav" => asm.emit(three_r(|rd, rt, rs| Srav { rd, rt, rs })?),
+        "sll" | "srl" | "sra" => {
+            need(3)?;
+            let rd = reg(ops[0])?;
+            let rt = reg(ops[1])?;
+            let sh = parse_int(ops[2])
+                .and_then(|v| u8::try_from(v).ok())
+                .filter(|&v| v < 32)
+                .ok_or_else(|| err(format!("bad shift `{}`", ops[2])))?;
+            asm.emit(match mnemonic {
+                "sll" => Sll { rd, rt, shamt: sh },
+                "srl" => Srl { rd, rt, shamt: sh },
+                _ => Sra { rd, rt, shamt: sh },
+            })
+        }
+        "addi" => {
+            need(3)?;
+            asm.emit(Addi { rt: reg(ops[0])?, rs: reg(ops[1])?, imm: imm16(ops[2])? })
+        }
+        "slti" => {
+            need(3)?;
+            asm.emit(Slti { rt: reg(ops[0])?, rs: reg(ops[1])?, imm: imm16(ops[2])? })
+        }
+        "andi" => {
+            need(3)?;
+            asm.emit(Andi { rt: reg(ops[0])?, rs: reg(ops[1])?, imm: uimm16(ops[2])? })
+        }
+        "ori" => {
+            need(3)?;
+            asm.emit(Ori { rt: reg(ops[0])?, rs: reg(ops[1])?, imm: uimm16(ops[2])? })
+        }
+        "xori" => {
+            need(3)?;
+            asm.emit(Xori { rt: reg(ops[0])?, rs: reg(ops[1])?, imm: uimm16(ops[2])? })
+        }
+        "lui" => {
+            need(2)?;
+            asm.emit(Lui { rt: reg(ops[0])?, imm: uimm16(ops[1])? })
+        }
+        "li" => {
+            need(2)?;
+            let v = parse_int(ops[1])
+                .and_then(|v| i32::try_from(v).ok())
+                .ok_or_else(|| err(format!("bad constant `{}`", ops[1])))?;
+            asm.li(reg(ops[0])?, v)
+        }
+        "move" | "mv" => {
+            need(2)?;
+            asm.mv(reg(ops[0])?, reg(ops[1])?)
+        }
+        "nop" => {
+            need(0)?;
+            asm.emit(Instr::NOP)
+        }
+        "lw" | "lh" | "lhu" | "sw" | "sh" => {
+            need(2)?;
+            let rt = reg(ops[0])?;
+            let (base, offset) = mem(ops[1])?;
+            asm.emit(match mnemonic {
+                "lw" => Lw { rt, base, offset },
+                "lh" => Lh { rt, base, offset },
+                "lhu" => Lhu { rt, base, offset },
+                "sw" => Sw { rt, base, offset },
+                _ => Sh { rt, base, offset },
+            })
+        }
+        "beq" | "bne" => {
+            need(3)?;
+            let rs = reg(ops[0])?;
+            let rt = reg(ops[1])?;
+            if mnemonic == "beq" {
+                asm.beq_to(rs, rt, ops[2])
+            } else {
+                asm.bne_to(rs, rt, ops[2])
+            }
+        }
+        "blez" | "bgtz" | "bltz" | "bgez" => {
+            need(2)?;
+            let rs = reg(ops[0])?;
+            match mnemonic {
+                "blez" => asm.blez_to(rs, ops[1]),
+                "bgtz" => asm.bgtz_to(rs, ops[1]),
+                "bltz" => asm.bltz_to(rs, ops[1]),
+                _ => asm.bgez_to(rs, ops[1]),
+            }
+        }
+        "j" => {
+            need(1)?;
+            asm.j_to(ops[0])
+        }
+        "jal" => {
+            need(1)?;
+            asm.jal_to(ops[0])
+        }
+        "jr" => {
+            need(1)?;
+            asm.emit(Jr { rs: reg(ops[0])? })
+        }
+        "jalr" => {
+            need(2)?;
+            asm.emit(Jalr { rd: reg(ops[0])?, rs: reg(ops[1])? })
+        }
+        "halt" => {
+            need(0)?;
+            asm.emit(Halt)
+        }
+        "but4" => {
+            need(2)?;
+            asm.emit(But4 { stage: reg(ops[0])?, module: reg(ops[1])? })
+        }
+        "ldin" | "stout" => {
+            need(1)?;
+            let (base, offset) = mem(ops[0])?;
+            asm.emit(if mnemonic == "ldin" {
+                Ldin { base, offset }
+            } else {
+                Stout { base, offset }
+            })
+        }
+        "mtfft" => {
+            need(2)?;
+            let sel = FftCfg::parse(ops[1])
+                .ok_or_else(|| err(format!("bad fft config selector `{}`", ops[1])))?;
+            asm.emit(Mtfft { rs: reg(ops[0])?, sel })
+        }
+        other => return Err(err(format!("unknown mnemonic `{other}`"))),
+    };
+    Ok(())
+}
+
+fn parse_int(s: &str) -> Option<i64> {
+    let s = s.trim();
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, s),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).ok()?
+    } else {
+        body.parse::<i64>().ok()?
+    };
+    Some(if neg { -v } else { v })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_through_disassembler() {
+        let src = "
+            start:
+                li   t0, 4
+            loop:
+                addi t0, t0, -1
+                bne  t0, zero, loop
+                lw   t1, 8(sp)
+                sw   t1, -4(sp)
+                but4 t2, t3
+                ldin 0(s0)
+                stout 8(s1)
+                mtfft a0, prerot
+                jal  start
+                halt
+        ";
+        let p = assemble_text(src).unwrap();
+        assert_eq!(p.len(), 11);
+        let listing = p.disassemble();
+        assert!(listing.contains("bne t0, zero, -2"));
+        assert!(listing.contains("mtfft a0, prerot"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skip() {
+        let p = assemble_text("# just a comment\n\n   ; another\nhalt\n").unwrap();
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn label_sharing_a_line() {
+        let p = assemble_text("end: halt").unwrap();
+        assert_eq!(p.len(), 1);
+    }
+
+    #[test]
+    fn error_reports_line_numbers() {
+        let e = assemble_text("nop\nbogus t0, t1\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bogus"));
+    }
+
+    #[test]
+    fn undefined_label_reported() {
+        let e = assemble_text("j nowhere\n").unwrap_err();
+        assert!(e.message.contains("nowhere"));
+    }
+
+    #[test]
+    fn numeric_forms() {
+        let p = assemble_text("li t0, 0x7fff\nli t1, -12\nlui t2, 0xbeef\nhalt").unwrap();
+        assert_eq!(p.len(), 4);
+    }
+
+    #[test]
+    fn bad_register_and_immediate() {
+        assert!(assemble_text("addi q0, t0, 1").is_err());
+        assert!(assemble_text("addi t0, t0, 99999").is_err());
+        assert!(assemble_text("sll t0, t1, 40").is_err());
+    }
+}
+
+#[cfg(test)]
+mod directive_tests {
+    use super::*;
+
+    #[test]
+    fn word_directive_emits_raw_data() {
+        let p = assemble_text("j start\n.word 0xdeadbeef, 42, -1\nstart: halt").unwrap();
+        assert_eq!(p.words()[1], 0xdead_beef);
+        assert_eq!(p.words()[2], 42);
+        assert_eq!(p.words()[3], u32::MAX);
+        assert_eq!(p.len(), 5);
+    }
+
+    #[test]
+    fn nop_directive_pads() {
+        let p = assemble_text(".nop 3\nhalt").unwrap();
+        assert_eq!(p.len(), 4);
+        assert_eq!(p.words()[0], 0);
+    }
+
+    #[test]
+    fn constant_pool_is_loadable() {
+        // Labels address words: a program can lw from its own pool via
+        // the label's word index * 4.
+        let p = assemble_text(
+            "j start\npool: .word 123\nstart: lw v0, 4(zero)\nhalt",
+        )
+        .unwrap();
+        assert_eq!(p.words()[1], 123);
+    }
+
+    #[test]
+    fn bad_directives_are_errors() {
+        assert!(assemble_text(".word").is_err());
+        assert!(assemble_text(".word zzz").is_err());
+        assert!(assemble_text(".nop -1").is_err());
+        assert!(assemble_text(".align 4").is_err());
+    }
+}

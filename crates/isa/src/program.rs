@@ -1,0 +1,126 @@
+//! An assembled program image.
+
+use crate::instr::{DecodeError, Instr};
+use core::fmt;
+
+/// An assembled sequence of instruction words, loaded at word address 0.
+///
+/// The program counter is a *word* index into this image; `J`/`JAL`
+/// targets and `JR` register values are byte addresses divided by 4.
+///
+/// # Examples
+///
+/// ```
+/// use afft_isa::{Instr, Program, Reg};
+///
+/// let p = Program::from_instrs(&[
+///     Instr::Addi { rt: Reg::V0, rs: Reg::ZERO, imm: 7 },
+///     Instr::Halt,
+/// ]);
+/// assert_eq!(p.len(), 2);
+/// assert_eq!(p.instr_at(0)?, Instr::Addi { rt: Reg::V0, rs: Reg::ZERO, imm: 7 });
+/// # Ok::<(), afft_isa::DecodeError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    words: Vec<u32>,
+}
+
+impl Program {
+    /// Builds a program from raw instruction words.
+    pub fn from_words(words: Vec<u32>) -> Self {
+        Program { words }
+    }
+
+    /// Builds a program by encoding a slice of instructions.
+    pub fn from_instrs(instrs: &[Instr]) -> Self {
+        Program { words: instrs.iter().map(|i| i.encode()).collect() }
+    }
+
+    /// The raw instruction words.
+    pub fn words(&self) -> &[u32] {
+        &self.words
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True if the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Decodes the instruction at word index `pc`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] if `pc` is out of bounds (reported with a
+    /// sentinel word) or the word does not decode.
+    pub fn instr_at(&self, pc: usize) -> Result<Instr, DecodeError> {
+        let word = *self.words.get(pc).ok_or(DecodeError { word: 0xffff_ffff })?;
+        Instr::decode(word)
+    }
+
+    /// Full disassembly listing (one instruction per line, with word
+    /// addresses), for debugging and the `asm_playground` example.
+    pub fn disassemble(&self) -> String {
+        let mut out = String::new();
+        for (pc, &w) in self.words.iter().enumerate() {
+            use fmt::Write;
+            match Instr::decode(w) {
+                Ok(i) => writeln!(out, "{:6}: {:08x}  {}", pc, w, i).expect("write to string"),
+                Err(_) => {
+                    writeln!(out, "{:6}: {:08x}  <invalid>", pc, w).expect("write to string")
+                }
+            }
+        }
+        out
+    }
+}
+
+impl FromIterator<Instr> for Program {
+    fn from_iter<I: IntoIterator<Item = Instr>>(iter: I) -> Self {
+        Program { words: iter.into_iter().map(|i| i.encode()).collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::Reg;
+
+    #[test]
+    fn build_and_fetch() {
+        let p = Program::from_instrs(&[Instr::NOP, Instr::Halt]);
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        assert_eq!(p.instr_at(1).unwrap(), Instr::Halt);
+        assert!(p.instr_at(2).is_err());
+    }
+
+    #[test]
+    fn disassembly_lists_every_word() {
+        let p = Program::from_instrs(&[
+            Instr::Addi { rt: Reg::T0, rs: Reg::ZERO, imm: 1 },
+            Instr::Halt,
+        ]);
+        let d = p.disassemble();
+        assert!(d.contains("addi t0, zero, 1"));
+        assert!(d.contains("halt"));
+        assert_eq!(d.lines().count(), 2);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let p: Program = [Instr::NOP, Instr::NOP].into_iter().collect();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn invalid_word_disassembles_gracefully() {
+        let p = Program::from_words(vec![0xffff_ffff]);
+        assert!(p.disassemble().contains("<invalid>"));
+    }
+}

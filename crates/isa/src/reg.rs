@@ -1,0 +1,173 @@
+//! General-purpose register file names and conventions.
+//!
+//! The base core is PISA-like: 32 GPRs with `r0` hardwired to zero. We
+//! follow the familiar MIPS calling conventions so generated programs
+//! (and their disassembly) read naturally.
+
+use core::fmt;
+
+/// A general-purpose register index (`r0` ..= `r31`).
+///
+/// # Examples
+///
+/// ```
+/// use afft_isa::Reg;
+/// assert_eq!(Reg::ZERO.index(), 0);
+/// assert_eq!(Reg::new(4), Reg::A0);
+/// assert_eq!(Reg::SP.to_string(), "sp");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Hardwired zero.
+    pub const ZERO: Reg = Reg(0);
+    /// Assembler temporary.
+    pub const AT: Reg = Reg(1);
+    /// Return value 0.
+    pub const V0: Reg = Reg(2);
+    /// Return value 1.
+    pub const V1: Reg = Reg(3);
+    /// Argument 0.
+    pub const A0: Reg = Reg(4);
+    /// Argument 1.
+    pub const A1: Reg = Reg(5);
+    /// Argument 2.
+    pub const A2: Reg = Reg(6);
+    /// Argument 3.
+    pub const A3: Reg = Reg(7);
+    /// Caller-saved temporaries `t0..t7`.
+    pub const T0: Reg = Reg(8);
+    /// Temporary 1.
+    pub const T1: Reg = Reg(9);
+    /// Temporary 2.
+    pub const T2: Reg = Reg(10);
+    /// Temporary 3.
+    pub const T3: Reg = Reg(11);
+    /// Temporary 4.
+    pub const T4: Reg = Reg(12);
+    /// Temporary 5.
+    pub const T5: Reg = Reg(13);
+    /// Temporary 6.
+    pub const T6: Reg = Reg(14);
+    /// Temporary 7.
+    pub const T7: Reg = Reg(15);
+    /// Callee-saved `s0..s7`.
+    pub const S0: Reg = Reg(16);
+    /// Saved 1.
+    pub const S1: Reg = Reg(17);
+    /// Saved 2.
+    pub const S2: Reg = Reg(18);
+    /// Saved 3.
+    pub const S3: Reg = Reg(19);
+    /// Saved 4.
+    pub const S4: Reg = Reg(20);
+    /// Saved 5.
+    pub const S5: Reg = Reg(21);
+    /// Saved 6.
+    pub const S6: Reg = Reg(22);
+    /// Saved 7.
+    pub const S7: Reg = Reg(23);
+    /// Temporary 8.
+    pub const T8: Reg = Reg(24);
+    /// Temporary 9.
+    pub const T9: Reg = Reg(25);
+    /// Kernel 0 (free for program use here).
+    pub const K0: Reg = Reg(26);
+    /// Kernel 1 (free for program use here).
+    pub const K1: Reg = Reg(27);
+    /// Global pointer.
+    pub const GP: Reg = Reg(28);
+    /// Stack pointer.
+    pub const SP: Reg = Reg(29);
+    /// Frame pointer.
+    pub const FP: Reg = Reg(30);
+    /// Return address.
+    pub const RA: Reg = Reg(31);
+
+    /// Creates a register from its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > 31`.
+    #[inline]
+    pub const fn new(index: u8) -> Reg {
+        assert!(index < 32, "register index out of range");
+        Reg(index)
+    }
+
+    /// The register index (0..=31).
+    #[inline]
+    pub const fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Canonical ABI name (`zero`, `at`, `v0`, ... `ra`).
+    pub fn name(self) -> &'static str {
+        const NAMES: [&str; 32] = [
+            "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3", "t0", "t1", "t2", "t3", "t4",
+            "t5", "t6", "t7", "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "t8", "t9",
+            "k0", "k1", "gp", "sp", "fp", "ra",
+        ];
+        NAMES[self.0 as usize]
+    }
+
+    /// Parses either an ABI name (`t0`) or a numeric name (`r8`/`$8`).
+    pub fn parse(s: &str) -> Option<Reg> {
+        let s = s.trim().trim_start_matches('$');
+        for i in 0..32u8 {
+            if Reg(i).name() == s {
+                return Some(Reg(i));
+            }
+        }
+        let num = s.strip_prefix('r').unwrap_or(s);
+        num.parse::<u8>().ok().filter(|&i| i < 32).map(Reg)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl From<Reg> for u32 {
+    fn from(r: Reg) -> u32 {
+        u32::from(r.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for i in 0..32u8 {
+            let r = Reg::new(i);
+            assert_eq!(Reg::parse(r.name()), Some(r), "{}", r.name());
+            assert_eq!(Reg::parse(&format!("r{i}")), Some(r));
+            assert_eq!(Reg::parse(&format!("${i}")), Some(r));
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert_eq!(Reg::parse("r32"), None);
+        assert_eq!(Reg::parse("x7"), None);
+        assert_eq!(Reg::parse(""), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn new_rejects_big_index() {
+        let _ = Reg::new(32);
+    }
+
+    #[test]
+    fn conventions() {
+        assert_eq!(Reg::SP.index(), 29);
+        assert_eq!(Reg::RA.index(), 31);
+        assert_eq!(Reg::ZERO.name(), "zero");
+    }
+}

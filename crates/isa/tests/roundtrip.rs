@@ -1,0 +1,102 @@
+//! Property tests of the ISA: encode/decode and
+//! assemble/disassemble/re-assemble are lossless.
+
+use afft_isa::parser::assemble_text;
+use afft_isa::{FftCfg, Instr, Program, Reg};
+use proptest::prelude::*;
+
+fn reg() -> impl Strategy<Value = Reg> {
+    (0u8..32).prop_map(Reg::new)
+}
+
+fn instr() -> impl Strategy<Value = Instr> {
+    use Instr::*;
+    prop_oneof![
+        (reg(), reg(), reg()).prop_map(|(rd, rs, rt)| Add { rd, rs, rt }),
+        (reg(), reg(), reg()).prop_map(|(rd, rs, rt)| Sub { rd, rs, rt }),
+        (reg(), reg(), reg()).prop_map(|(rd, rs, rt)| And { rd, rs, rt }),
+        (reg(), reg(), reg()).prop_map(|(rd, rs, rt)| Or { rd, rs, rt }),
+        (reg(), reg(), reg()).prop_map(|(rd, rs, rt)| Xor { rd, rs, rt }),
+        (reg(), reg(), reg()).prop_map(|(rd, rs, rt)| Nor { rd, rs, rt }),
+        (reg(), reg(), reg()).prop_map(|(rd, rs, rt)| Slt { rd, rs, rt }),
+        (reg(), reg(), reg()).prop_map(|(rd, rs, rt)| Sltu { rd, rs, rt }),
+        (reg(), reg(), reg()).prop_map(|(rd, rs, rt)| Mul { rd, rs, rt }),
+        (reg(), reg(), reg()).prop_map(|(rd, rs, rt)| Mulh { rd, rs, rt }),
+        (reg(), reg(), reg()).prop_map(|(rd, rs, rt)| Mulhu { rd, rs, rt }),
+        (reg(), reg(), 0u8..32).prop_map(|(rd, rt, shamt)| Sll { rd, rt, shamt }),
+        (reg(), reg(), 0u8..32).prop_map(|(rd, rt, shamt)| Srl { rd, rt, shamt }),
+        (reg(), reg(), 0u8..32).prop_map(|(rd, rt, shamt)| Sra { rd, rt, shamt }),
+        (reg(), reg(), any::<i16>()).prop_map(|(rt, rs, imm)| Addi { rt, rs, imm }),
+        (reg(), reg(), any::<i16>()).prop_map(|(rt, rs, imm)| Slti { rt, rs, imm }),
+        (reg(), reg(), any::<u16>()).prop_map(|(rt, rs, imm)| Andi { rt, rs, imm }),
+        (reg(), reg(), any::<u16>()).prop_map(|(rt, rs, imm)| Ori { rt, rs, imm }),
+        (reg(), reg(), any::<u16>()).prop_map(|(rt, rs, imm)| Xori { rt, rs, imm }),
+        (reg(), any::<u16>()).prop_map(|(rt, imm)| Lui { rt, imm }),
+        (reg(), reg(), any::<i16>()).prop_map(|(rt, base, offset)| Lw { rt, base, offset }),
+        (reg(), reg(), any::<i16>()).prop_map(|(rt, base, offset)| Lh { rt, base, offset }),
+        (reg(), reg(), any::<i16>()).prop_map(|(rt, base, offset)| Lhu { rt, base, offset }),
+        (reg(), reg(), any::<i16>()).prop_map(|(rt, base, offset)| Sw { rt, base, offset }),
+        (reg(), reg(), any::<i16>()).prop_map(|(rt, base, offset)| Sh { rt, base, offset }),
+        (reg(), reg(), any::<i16>()).prop_map(|(rs, rt, offset)| Beq { rs, rt, offset }),
+        (reg(), reg(), any::<i16>()).prop_map(|(rs, rt, offset)| Bne { rs, rt, offset }),
+        (reg(), any::<i16>()).prop_map(|(rs, offset)| Blez { rs, offset }),
+        (reg(), any::<i16>()).prop_map(|(rs, offset)| Bgtz { rs, offset }),
+        (reg(), any::<i16>()).prop_map(|(rs, offset)| Bltz { rs, offset }),
+        (reg(), any::<i16>()).prop_map(|(rs, offset)| Bgez { rs, offset }),
+        (0u32..(1 << 26)).prop_map(|target| J { target }),
+        (0u32..(1 << 26)).prop_map(|target| Jal { target }),
+        reg().prop_map(|rs| Jr { rs }),
+        (reg(), reg()).prop_map(|(rd, rs)| Jalr { rd, rs }),
+        Just(Halt),
+        (reg(), reg()).prop_map(|(stage, module)| But4 { stage, module }),
+        (reg(), any::<i16>()).prop_map(|(base, offset)| Ldin { base, offset }),
+        (reg(), any::<i16>()).prop_map(|(base, offset)| Stout { base, offset }),
+        (reg(), 0usize..FftCfg::ALL.len())
+            .prop_map(|(rs, s)| Mtfft { rs, sel: FftCfg::ALL[s] }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2000))]
+
+    #[test]
+    fn encode_decode_roundtrip(i in instr()) {
+        let word = i.encode();
+        let decoded = Instr::decode(word).expect("generated instruction decodes");
+        prop_assert_eq!(decoded, i);
+    }
+
+    #[test]
+    fn decode_is_idempotent_on_valid_words(word in any::<u32>()) {
+        // If a random word decodes, re-encoding must reproduce it up to
+        // don't-care fields: decode(encode(decode(w))) == decode(w).
+        if let Ok(i) = Instr::decode(word) {
+            let norm = i.encode();
+            prop_assert_eq!(Instr::decode(norm).expect("normalised decodes"), i);
+        }
+    }
+
+    #[test]
+    fn disassemble_reassemble_is_identity(is in prop::collection::vec(instr(), 1..40)) {
+        // Branch/jump operands in a listing are offsets/targets; give
+        // the parser a label-free subset by filtering control flow.
+        let body: Vec<Instr> = is.into_iter().filter(|i| !i.is_control()).collect();
+        prop_assume!(!body.is_empty());
+        let p = Program::from_instrs(&body);
+        // Strip addresses and word columns from the listing.
+        // Listing format is `{pc:6}: {word:08x}  {instr}`: the mnemonic
+        // starts at a fixed column.
+        let text: String =
+            p.disassemble().lines().map(|l| l[18..].to_string() + "\n").collect();
+        let p2 = assemble_text(&text).expect("listing reassembles");
+        prop_assert_eq!(p2.words(), p.words());
+    }
+}
+
+#[test]
+fn every_cfg_selector_has_unique_name() {
+    let mut names: Vec<&str> = FftCfg::ALL.iter().map(|c| c.name()).collect();
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(names.len(), FftCfg::ALL.len());
+}

@@ -1,0 +1,250 @@
+//! A minimal complex number over any [`Scalar`].
+
+use crate::scalar::Scalar;
+use core::fmt;
+use core::ops::{Add, Mul, Neg, Sub};
+
+/// Complex number with element type `T`.
+///
+/// Fields are public: this is a plain data carrier, and the FFT kernels
+/// and the simulator's bus packing code need direct access to both parts.
+///
+/// # Examples
+///
+/// ```
+/// use afft_num::Complex;
+///
+/// let a = Complex::new(1.0, 2.0);
+/// let b = Complex::new(3.0, -1.0);
+/// assert_eq!(a * b, Complex::new(5.0, 5.0));
+/// assert_eq!(a + b, Complex::new(4.0, 1.0));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Complex<T> {
+    /// Real part.
+    pub re: T,
+    /// Imaginary part.
+    pub im: T,
+}
+
+impl<T: Scalar> Complex<T> {
+    /// Creates a complex number from its real and imaginary parts.
+    #[inline]
+    pub const fn new(re: T, im: T) -> Self {
+        Complex { re, im }
+    }
+
+    /// The complex zero.
+    #[inline]
+    pub fn zero() -> Self {
+        Complex::new(T::ZERO, T::ZERO)
+    }
+
+    /// Returns the complex conjugate.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use afft_num::Complex;
+    /// assert_eq!(Complex::new(1.0, 2.0).conj(), Complex::new(1.0, -2.0));
+    /// ```
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex::new(self.re, -self.im)
+    }
+
+    /// Multiplies by `i` (rotates by +90 degrees): `(re, im) -> (-im, re)`.
+    #[inline]
+    pub fn mul_i(self) -> Self {
+        Complex::new(-self.im, self.re)
+    }
+
+    /// Multiplies by `-i` (rotates by -90 degrees): `(re, im) -> (im, -re)`.
+    ///
+    /// This is the `W_4^1` rotation the octant expansion logic uses.
+    #[inline]
+    pub fn mul_neg_i(self) -> Self {
+        Complex::new(self.im, -self.re)
+    }
+
+    /// Swaps the real and imaginary parts: `(re, im) -> (im, re)`.
+    ///
+    /// Together with [`Complex::conj`] and negation this generates all the
+    /// octant symmetries used by the inter-epoch coefficient compression.
+    #[inline]
+    pub fn swap(self) -> Self {
+        Complex::new(self.im, self.re)
+    }
+
+    /// Component-wise `(self + rhs) / 2` without intermediate overflow;
+    /// see [`Scalar::add_half`].
+    #[inline]
+    pub fn add_half(self, rhs: Self) -> Self {
+        Complex::new(self.re.add_half(rhs.re), self.im.add_half(rhs.im))
+    }
+
+    /// Component-wise `(self - rhs) / 2` without intermediate overflow;
+    /// see [`Scalar::sub_half`].
+    #[inline]
+    pub fn sub_half(self, rhs: Self) -> Self {
+        Complex::new(self.re.sub_half(rhs.re), self.im.sub_half(rhs.im))
+    }
+
+    /// Squared magnitude `re^2 + im^2` in the element arithmetic.
+    #[inline]
+    pub fn norm_sqr(self) -> T {
+        Scalar::add(Scalar::mul(self.re, self.re), Scalar::mul(self.im, self.im))
+    }
+
+    /// Converts element-wise to `f64`.
+    #[inline]
+    pub fn to_c64(self) -> Complex<f64> {
+        Complex::new(self.re.to_f64(), self.im.to_f64())
+    }
+
+    /// Quantises element-wise from an `f64` complex.
+    #[inline]
+    pub fn from_c64(v: Complex<f64>) -> Self {
+        Complex::new(T::from_f64(v.re), T::from_f64(v.im))
+    }
+}
+
+impl Complex<f64> {
+    /// Magnitude (Euclidean norm).
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// The distance `|self - other|`, used by error metrics in tests.
+    #[inline]
+    pub fn dist(self, other: Self) -> f64 {
+        (self - other).abs()
+    }
+}
+
+impl<T: Scalar> Add for Complex<T> {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Complex::new(Scalar::add(self.re, rhs.re), Scalar::add(self.im, rhs.im))
+    }
+}
+
+impl<T: Scalar> Sub for Complex<T> {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Complex::new(Scalar::sub(self.re, rhs.re), Scalar::sub(self.im, rhs.im))
+    }
+}
+
+impl<T: Scalar> Mul for Complex<T> {
+    type Output = Self;
+    /// Schoolbook complex multiply: 4 real multiplies and 2 adds, the
+    /// structure the butterfly unit implements (the paper's BU uses four
+    /// parallel real multipliers per butterfly).
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        let re = Scalar::sub(Scalar::mul(self.re, rhs.re), Scalar::mul(self.im, rhs.im));
+        let im = Scalar::add(Scalar::mul(self.re, rhs.im), Scalar::mul(self.im, rhs.re));
+        Complex::new(re, im)
+    }
+}
+
+impl<T: Scalar> Neg for Complex<T> {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl<T: Scalar> Mul<T> for Complex<T> {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: T) -> Self {
+        Complex::new(Scalar::mul(self.re, rhs), Scalar::mul(self.im, rhs))
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Complex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:?} + {:?}i)", self.re, self.im)
+    }
+}
+
+impl<T: fmt::Display> fmt::Display for Complex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({} + {}i)", self.re, self.im)
+    }
+}
+
+impl<T: Scalar> From<(T, T)> for Complex<T> {
+    fn from((re, im): (T, T)) -> Self {
+        Complex::new(re, im)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixed::Q15;
+
+    #[test]
+    fn mul_matches_hand_computation() {
+        let a = Complex::new(2.0, 3.0);
+        let b = Complex::new(-1.0, 4.0);
+        // (2+3i)(-1+4i) = -2 + 8i - 3i + 12 i^2 = -14 + 5i
+        assert_eq!(a * b, Complex::new(-14.0, 5.0));
+    }
+
+    #[test]
+    fn conj_mul_gives_norm() {
+        let a = Complex::new(3.0, 4.0);
+        let n = a * a.conj();
+        assert_eq!(n, Complex::new(25.0, 0.0));
+        assert_eq!(a.norm_sqr(), 25.0);
+    }
+
+    #[test]
+    fn rotations_compose() {
+        let a = Complex::new(1.0, 2.0);
+        assert_eq!(a.mul_i().mul_neg_i(), a);
+        assert_eq!(a.mul_i().mul_i(), -a);
+        assert_eq!(a.swap().swap(), a);
+    }
+
+    #[test]
+    fn q15_complex_multiply_accuracy() {
+        let a: Complex<Q15> = Complex::from_c64(Complex::new(0.3, -0.4));
+        let b: Complex<Q15> = Complex::from_c64(Complex::new(0.5, 0.25));
+        let exact = Complex::new(0.3, -0.4) * Complex::new(0.5, 0.25);
+        let got = (a * b).to_c64();
+        assert!(got.dist(exact) < 1e-4, "got {got:?}, want {exact:?}");
+    }
+
+    #[test]
+    fn scalar_scale() {
+        let a = Complex::new(2.0, -6.0);
+        assert_eq!(a * 0.5, Complex::new(1.0, -3.0));
+    }
+
+    #[test]
+    fn zero_is_additive_identity() {
+        let a = Complex::new(1.25, -0.75);
+        assert_eq!(a + Complex::zero(), a);
+    }
+
+    #[test]
+    fn from_tuple() {
+        let c: Complex<f64> = (1.0, 2.0).into();
+        assert_eq!(c, Complex::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn abs_and_dist() {
+        assert_eq!(Complex::new(3.0, 4.0).abs(), 5.0);
+        assert_eq!(Complex::new(1.0, 1.0).dist(Complex::new(1.0, 2.0)), 1.0);
+    }
+}

@@ -1,0 +1,301 @@
+//! Bit-level IEEE-754 single-precision helpers.
+//!
+//! The *Imple 1* baseline of the paper is the standard software FFT
+//! compiled for the base PISA core, whose dominant cost is **software
+//! floating point**. Our reproduction implements a soft-float subroutine
+//! library in the base ISA ([`afft-asip`]'s `softfloat` module). This
+//! module is the *specification* for those subroutines: a pure-integer
+//! implementation of float add/sub/mul that the assembly routines mirror
+//! instruction-for-instruction, so the ISS-executed library can be tested
+//! against it, and it in turn is tested against Rust's native `f32`.
+//!
+//! Only the behaviour the FFT needs is modelled: round-to-nearest-even,
+//! normals, zeros, and flush-to-zero of subnormal results (a common DSP
+//! simplification; documented and tested). NaN/inf propagate structurally
+//! but the FFT workload never produces them.
+//!
+//! [`afft-asip`]: https://docs.rs/afft-asip
+
+/// Sign bit mask of an IEEE-754 single.
+pub const SIGN_MASK: u32 = 0x8000_0000;
+/// Exponent field mask.
+pub const EXP_MASK: u32 = 0x7f80_0000;
+/// Mantissa (fraction) field mask.
+pub const MAN_MASK: u32 = 0x007f_ffff;
+/// Implicit leading one of a normal mantissa.
+pub const IMPLICIT_ONE: u32 = 0x0080_0000;
+
+/// Unpacked IEEE-754 single: `(sign, biased_exponent, mantissa)`.
+///
+/// For normal numbers the mantissa includes the implicit leading one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Unpacked {
+    /// Sign: `0` positive, `1` negative.
+    pub sign: u32,
+    /// Biased exponent (0..=255).
+    pub exp: i32,
+    /// 24-bit significand including the implicit one for normals.
+    pub man: u32,
+}
+
+/// Splits a single-precision bit pattern into sign/exponent/mantissa.
+///
+/// Subnormal inputs are flushed to zero (exp reads 0, mantissa forced to
+/// zero), matching the DSP-style soft-float library.
+///
+/// # Examples
+///
+/// ```
+/// use afft_num::ieee754::unpack;
+/// let u = unpack(1.5f32.to_bits());
+/// assert_eq!(u.exp, 127);
+/// assert_eq!(u.man, 0x00c0_0000); // 1.5 = 1.1b
+/// ```
+pub fn unpack(bits: u32) -> Unpacked {
+    let sign = bits >> 31;
+    let exp = ((bits & EXP_MASK) >> 23) as i32;
+    let frac = bits & MAN_MASK;
+    let man = if exp == 0 {
+        0 // flush subnormals to zero
+    } else {
+        frac | IMPLICIT_ONE
+    };
+    Unpacked { sign, exp, man }
+}
+
+/// Packs sign/exponent/mantissa back into a bit pattern, normalising and
+/// rounding to nearest-even. `man` is interpreted with 3 extra guard bits
+/// (guard/round/sticky) below the LSB, i.e. a 27-bit quantity for a
+/// normalised value in `[2^26, 2^27)`.
+///
+/// Overflow saturates to infinity; results with biased exponent <= 0 are
+/// flushed to zero.
+pub fn pack_round(sign: u32, mut exp: i32, mut man: u32) -> u32 {
+    if man == 0 {
+        return sign << 31;
+    }
+    // Normalise so that the leading one sits at bit 26 (24-bit significand
+    // + 3 guard bits => value in [2^26, 2^27)).
+    while man >= 1 << 27 {
+        let sticky = man & 1;
+        man = (man >> 1) | sticky;
+        exp += 1;
+    }
+    while man < 1 << 26 {
+        man <<= 1;
+        exp -= 1;
+    }
+    // Round to nearest even on the 3 guard bits.
+    let lsb = (man >> 3) & 1;
+    let guard = (man >> 2) & 1;
+    let round_sticky = man & 0b11;
+    man >>= 3;
+    if guard == 1 && (round_sticky != 0 || lsb == 1) {
+        man += 1;
+        if man == 1 << 24 {
+            man >>= 1;
+            exp += 1;
+        }
+    }
+    if exp <= 0 {
+        return sign << 31; // flush to zero
+    }
+    if exp >= 255 {
+        return (sign << 31) | EXP_MASK; // infinity
+    }
+    (sign << 31) | ((exp as u32) << 23) | (man & MAN_MASK)
+}
+
+/// Soft-float single-precision addition on raw bit patterns.
+///
+/// Implements the classic align-add-normalise-round algorithm with a
+/// 3-bit guard/round/sticky tail, rounding to nearest even, flushing
+/// subnormals. This is the exact algorithm the `__addsf3` subroutine in
+/// the baseline program implements.
+///
+/// # Examples
+///
+/// ```
+/// use afft_num::ieee754::add;
+/// let s = add(1.25f32.to_bits(), 2.5f32.to_bits());
+/// assert_eq!(f32::from_bits(s), 3.75);
+/// ```
+pub fn add(a: u32, b: u32) -> u32 {
+    let ua = unpack(a);
+    let ub = unpack(b);
+    if ua.man == 0 && ua.exp != 255 {
+        return if ub.man == 0 && ub.exp != 255 { sign_only_zero(ua, ub) } else { b };
+    }
+    if ub.man == 0 && ub.exp != 255 {
+        return a;
+    }
+    // Order so |a| >= |b| by (exp, man).
+    let (hi, lo) = if (ua.exp, ua.man) >= (ub.exp, ub.man) { (ua, ub) } else { (ub, ua) };
+    let shift = (hi.exp - lo.exp).min(31);
+    // 3 guard bits.
+    let man_hi = hi.man << 3;
+    let mut man_lo = lo.man << 3;
+    // Shift with sticky collection.
+    if shift > 0 {
+        let sticky = if (man_lo & ((1u32 << shift.min(31)) - 1)) != 0 { 1 } else { 0 };
+        man_lo = (man_lo >> shift) | sticky;
+    }
+    if hi.sign == lo.sign {
+        let man = man_hi + man_lo;
+        pack_round(hi.sign, hi.exp, man)
+    } else {
+        let man = man_hi - man_lo;
+        if man == 0 {
+            // Exact cancellation yields +0 under round-to-nearest.
+            return 0;
+        }
+        pack_round(hi.sign, hi.exp, man)
+    }
+}
+
+/// Soft-float single-precision subtraction on raw bit patterns.
+pub fn sub(a: u32, b: u32) -> u32 {
+    add(a, b ^ SIGN_MASK)
+}
+
+/// Soft-float single-precision multiplication on raw bit patterns.
+///
+/// 24x24 -> 48-bit product, normalise, round to nearest even, flush
+/// subnormal results. Mirrors the `__mulsf3` subroutine.
+///
+/// # Examples
+///
+/// ```
+/// use afft_num::ieee754::mul;
+/// let p = mul(1.5f32.to_bits(), (-2.0f32).to_bits());
+/// assert_eq!(f32::from_bits(p), -3.0);
+/// ```
+pub fn mul(a: u32, b: u32) -> u32 {
+    let ua = unpack(a);
+    let ub = unpack(b);
+    let sign = ua.sign ^ ub.sign;
+    if ua.man == 0 || ub.man == 0 {
+        return sign << 31;
+    }
+    let prod = u64::from(ua.man) * u64::from(ub.man); // in [2^46, 2^48)
+    let exp = ua.exp + ub.exp - 127;
+    // Reduce the 48-bit product to 27 bits (24 + 3 guard), collecting sticky.
+    let dropped = prod & ((1u64 << 20) - 1);
+    let mut man = (prod >> 20) as u32; // in [2^26, 2^28)
+    if dropped != 0 {
+        man |= 1;
+    }
+    pack_round(sign, exp, man)
+}
+
+/// Negates a single-precision bit pattern.
+pub fn neg(a: u32) -> u32 {
+    a ^ SIGN_MASK
+}
+
+fn sign_only_zero(ua: Unpacked, ub: Unpacked) -> u32 {
+    // +0 + -0 = +0 under round-to-nearest.
+    (ua.sign & ub.sign) << 31
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_add(x: f32, y: f32) {
+        let got = f32::from_bits(add(x.to_bits(), y.to_bits()));
+        let want = x + y;
+        assert_eq!(got.to_bits(), want.to_bits(), "add({x}, {y}) = {got}, want {want}");
+    }
+
+    fn check_mul(x: f32, y: f32) {
+        let got = f32::from_bits(mul(x.to_bits(), y.to_bits()));
+        let want = x * y;
+        assert_eq!(got.to_bits(), want.to_bits(), "mul({x}, {y}) = {got}, want {want}");
+    }
+
+    #[test]
+    fn add_simple_cases() {
+        check_add(1.0, 2.0);
+        check_add(1.25, 2.5);
+        check_add(0.1, 0.2);
+        check_add(-1.5, 0.75);
+        check_add(1e10, -1e10);
+        check_add(3.0, 0.0);
+        check_add(0.0, -3.0);
+        check_add(0.0, 0.0);
+    }
+
+    #[test]
+    fn add_cancellation_and_alignment() {
+        check_add(1.0, 1e-7);
+        check_add(1.0, -0.9999999);
+        check_add(16777216.0, 1.0); // 2^24 + 1: rounds
+        check_add(16777216.0, 3.0);
+        check_add(-16777215.0, 16777216.0);
+    }
+
+    #[test]
+    fn mul_simple_cases() {
+        check_mul(1.5, -2.0);
+        check_mul(0.1, 0.2);
+        check_mul(3.14159, 2.71828);
+        check_mul(0.0, 5.0);
+        check_mul(-0.0, 5.0);
+        check_mul(1.0, 1.0);
+    }
+
+    #[test]
+    fn sub_is_add_of_negation() {
+        let a = 5.5f32.to_bits();
+        let b = 2.25f32.to_bits();
+        assert_eq!(f32::from_bits(sub(a, b)), 3.25);
+        assert_eq!(neg(a), (-5.5f32).to_bits());
+    }
+
+    #[test]
+    fn flush_to_zero_of_tiny_results() {
+        // Smallest normal is 2^-126; a product of two 2^-100 values is
+        // subnormal and must flush to (signed) zero.
+        let tiny = 2.0f32.powi(-100);
+        let got = f32::from_bits(mul(tiny.to_bits(), tiny.to_bits()));
+        assert_eq!(got, 0.0);
+        let gotn = f32::from_bits(mul(tiny.to_bits(), (-tiny).to_bits()));
+        assert_eq!(gotn.to_bits(), (-0.0f32).to_bits());
+    }
+
+    #[test]
+    fn overflow_saturates_to_infinity() {
+        let big = f32::MAX;
+        let got = f32::from_bits(mul(big.to_bits(), big.to_bits()));
+        assert!(got.is_infinite() && got > 0.0);
+        let got = f32::from_bits(add(big.to_bits(), big.to_bits()));
+        assert!(got.is_infinite() && got > 0.0);
+    }
+
+    #[test]
+    fn exhaustive_small_grid_matches_hardware_float() {
+        // A dense grid of values in the FFT's working range; every result
+        // must be bit-exact against the host FPU (all are normal).
+        let vals: Vec<f32> = (-24..=24)
+            .flat_map(|m| (-3..=3).map(move |e| (m as f32 / 8.0) * 2f32.powi(e)))
+            .collect();
+        for &x in &vals {
+            for &y in &vals {
+                if x != 0.0 || y != 0.0 {
+                    check_add(x, y);
+                    check_mul(x, y);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unpack_pack_roundtrip_normals() {
+        for v in [1.0f32, -1.0, 0.5, 1.999999, 123456.78, -0.0078125] {
+            let u = unpack(v.to_bits());
+            let packed = pack_round(u.sign, u.exp, u.man << 3);
+            assert_eq!(packed, v.to_bits(), "roundtrip {v}");
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Numeric foundations for the array-FFT ASIP reproduction.
+//!
+//! The ASIP datapath of the paper operates on 16-bit fixed-point complex
+//! samples (a 32-bit complex word; two words fill the 64-bit `LDIN`/`STOUT`
+//! bus). This crate provides:
+//!
+//! * [`Complex`] — a minimal, dependency-free complex number over any
+//!   [`Scalar`] (used with `f64` for golden models and [`Q15`] for the
+//!   hardware-accurate datapath);
+//! * [`Q15`] / [`Q31`] — signed fixed-point types with saturating,
+//!   rounding arithmetic matching the behaviour of a DSP multiplier;
+//! * [`ieee754`] — bit-level IEEE-754 single-precision helpers used to
+//!   verify the soft-float subroutine library that the *Imple 1* baseline
+//!   program runs on the base core.
+//!
+//! # Examples
+//!
+//! ```
+//! use afft_num::{Complex, Q15};
+//!
+//! let w = Complex::new(Q15::from_f64(0.5), Q15::from_f64(-0.5));
+//! let x = Complex::new(Q15::ONE_MINUS_EPS, Q15::ZERO);
+//! let y = w * x;
+//! assert!((y.re.to_f64() - 0.5).abs() < 1e-3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod complex;
+pub mod fixed;
+pub mod ieee754;
+pub mod scalar;
+
+pub use complex::Complex;
+pub use fixed::{Q15, Q31};
+pub use scalar::Scalar;
+
+/// Complex number over `f64`, the golden-model element type.
+pub type C64 = Complex<f64>;
+
+/// Complex number over [`Q15`], the hardware datapath element type.
+pub type CQ15 = Complex<Q15>;
+
+/// Returns the twiddle factor `W_n^k = exp(-2*pi*i*k/n)` as a [`C64`].
+///
+/// This is the mathematical definition used throughout the FFT crates;
+/// fixed-point twiddles are produced by quantising this value.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// # Examples
+///
+/// ```
+/// let w = afft_num::twiddle(8, 2);
+/// assert!((w.re - 0.0).abs() < 1e-12);
+/// assert!((w.im - (-1.0)).abs() < 1e-12);
+/// ```
+pub fn twiddle(n: usize, k: usize) -> C64 {
+    assert!(n != 0, "twiddle: n must be non-zero");
+    let theta = -2.0 * std::f64::consts::PI * (k as f64) / (n as f64);
+    Complex::new(theta.cos(), theta.sin())
+}
+
+/// Returns the quantised [`Q15`] twiddle `W_n^k`, as stored in the
+/// coefficient ROM of the custom hardware.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn twiddle_q15(n: usize, k: usize) -> CQ15 {
+    let w = twiddle(n, k);
+    Complex::new(Q15::from_f64(w.re), Q15::from_f64(w.im))
+}

@@ -1,0 +1,105 @@
+//! The [`Scalar`] abstraction shared by golden-model (`f64`) and
+//! hardware-model ([`Q15`](crate::Q15)) arithmetic.
+
+use core::fmt::Debug;
+use core::ops::{Add, Mul, Neg, Sub};
+
+/// Element type usable inside [`Complex`](crate::Complex) and the FFT
+/// kernels.
+///
+/// The trait is deliberately small: the FFT data path only ever adds,
+/// subtracts, multiplies and negates. Implementations define how rounding
+/// and overflow behave (`f64` is exact for our sizes; [`Q15`](crate::Q15)
+/// saturates and rounds-to-nearest like the modelled 16-bit datapath).
+///
+/// # Examples
+///
+/// ```
+/// use afft_num::Scalar;
+///
+/// fn axpy<T: Scalar>(a: T, x: T, y: T) -> T {
+///     a * x + y
+/// }
+/// assert_eq!(axpy(2.0f64, 3.0, 1.0), 7.0);
+/// ```
+pub trait Scalar:
+    Copy
+    + Debug
+    + PartialEq
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Neg<Output = Self>
+    + Send
+    + Sync
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+
+    /// Adds, with the type's native rounding/saturation semantics.
+    fn add(self, rhs: Self) -> Self {
+        self + rhs
+    }
+
+    /// Subtracts, with the type's native rounding/saturation semantics.
+    fn sub(self, rhs: Self) -> Self {
+        self - rhs
+    }
+
+    /// Multiplies, with the type's native rounding/saturation semantics.
+    fn mul(self, rhs: Self) -> Self {
+        self * rhs
+    }
+
+    /// Converts from an `f64`, quantising if necessary.
+    fn from_f64(v: f64) -> Self;
+
+    /// Converts to an `f64` (exact for all supported types).
+    fn to_f64(self) -> f64;
+
+    /// Computes `(self + rhs) / 2` without intermediate overflow.
+    ///
+    /// Scaled fixed-point butterflies use this so that a full-scale sum
+    /// is halved *before* it would saturate, the behaviour of a datapath
+    /// with one guard bit.
+    fn add_half(self, rhs: Self) -> Self {
+        Scalar::mul(self + rhs, Self::from_f64(0.5))
+    }
+
+    /// Computes `(self - rhs) / 2` without intermediate overflow.
+    fn sub_half(self, rhs: Self) -> Self {
+        Scalar::mul(self - rhs, Self::from_f64(0.5))
+    }
+}
+
+impl Scalar for f64 {
+    const ZERO: Self = 0.0;
+
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+
+    fn to_f64(self) -> f64 {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_scalar_roundtrip() {
+        let x = <f64 as Scalar>::from_f64(0.125);
+        assert_eq!(x.to_f64(), 0.125);
+        assert_eq!(<f64 as Scalar>::ZERO, 0.0);
+    }
+
+    #[test]
+    fn f64_scalar_ops() {
+        assert_eq!(Scalar::add(1.5f64, 2.5), 4.0);
+        assert_eq!(Scalar::sub(1.5f64, 2.5), -1.0);
+        assert_eq!(Scalar::mul(1.5f64, 2.0), 3.0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Simulator trap/error types.
+
+use afft_isa::DecodeError;
+use core::fmt;
+
+/// A condition that stops simulation abnormally.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// Memory access outside the configured address space.
+    BadAddress {
+        /// The faulting byte address.
+        addr: u32,
+        /// Access width in bytes.
+        bytes: u32,
+    },
+    /// Misaligned memory access.
+    Misaligned {
+        /// The faulting byte address.
+        addr: u32,
+        /// Required alignment in bytes.
+        align: u32,
+    },
+    /// The program counter left the program image or the word failed to
+    /// decode.
+    BadInstruction {
+        /// Word-index program counter.
+        pc: usize,
+        /// Decoder diagnosis.
+        source: DecodeError,
+    },
+    /// The cycle budget was exhausted before `HALT`.
+    CycleLimit {
+        /// The configured limit.
+        limit: u64,
+    },
+    /// A custom FFT instruction was executed with an invalid AC-unit
+    /// configuration (e.g. `BUT4` with a stage out of range).
+    FftUnit {
+        /// Description of the violation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::BadAddress { addr, bytes } => {
+                write!(f, "memory access of {bytes} bytes at {addr:#010x} out of range")
+            }
+            SimError::Misaligned { addr, align } => {
+                write!(f, "misaligned access at {addr:#010x} (requires {align}-byte alignment)")
+            }
+            SimError::BadInstruction { pc, source } => {
+                write!(f, "bad instruction at pc {pc}: {source}")
+            }
+            SimError::CycleLimit { limit } => {
+                write!(f, "cycle limit of {limit} exceeded without HALT")
+            }
+            SimError::FftUnit { reason } => write!(f, "fft unit: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::BadInstruction { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_all_variants() {
+        let cases: Vec<SimError> = vec![
+            SimError::BadAddress { addr: 0x100, bytes: 4 },
+            SimError::Misaligned { addr: 0x101, align: 4 },
+            SimError::BadInstruction { pc: 7, source: DecodeError { word: 0xffff_ffff } },
+            SimError::CycleLimit { limit: 1000 },
+            SimError::FftUnit { reason: "stage 9 out of range".into() },
+        ];
+        for c in cases {
+            assert!(!c.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_traits() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<SimError>();
+    }
+}

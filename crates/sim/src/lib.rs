@@ -1,0 +1,46 @@
+//! Instruction-set simulator for the array-FFT ASIP: the reproduction's
+//! stand-in for the paper's modified SimpleScalar/PISA.
+//!
+//! The machine is an in-order single-issue core with:
+//!
+//! * a flat little-endian [`mem::Memory`];
+//! * a set-associative write-back [`cache::Cache`] producing the
+//!   load/store/miss counts of Table II;
+//! * the custom FFT unit ([`custom::FftUnit`]) — CRF, 4-butterfly BU,
+//!   AC address generation and coefficient ROM — wired into the EX
+//!   stage exactly as Fig. 4 describes;
+//! * a deterministic latency model ([`timing::Timing`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use afft_sim::{Machine, MachineConfig};
+//! use afft_isa::{Instr, Program, Reg};
+//!
+//! let mut m = Machine::new(MachineConfig::default());
+//! m.load_program(Program::from_instrs(&[
+//!     Instr::Addi { rt: Reg::V0, rs: Reg::ZERO, imm: 7 },
+//!     Instr::Halt,
+//! ]));
+//! let stats = m.run(100)?;
+//! assert_eq!(stats.instrs, 2);
+//! # Ok::<(), afft_sim::SimError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod custom;
+pub mod error;
+pub mod machine;
+pub mod mem;
+pub mod profile;
+pub mod stats;
+pub mod timing;
+
+pub use cache::{Cache, CacheConfig, CacheStats};
+pub use error::SimError;
+pub use machine::{stage_input, Machine, MachineConfig};
+pub use stats::Stats;
+pub use timing::Timing;

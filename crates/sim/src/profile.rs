@@ -1,0 +1,162 @@
+//! Execution profiling: per-PC cycle attribution over a run.
+//!
+//! The experiment harnesses use this to answer "where do the cycles
+//! go" questions (e.g. the pre-rotation share of Table I rows) without
+//! instrumenting the generated programs.
+
+use crate::error::SimError;
+use crate::machine::Machine;
+use crate::stats::Stats;
+use afft_isa::Program;
+
+/// One line of a profile report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HotSpot {
+    /// Word-index program counter.
+    pub pc: usize,
+    /// Total cycles attributed to this pc.
+    pub cycles: u64,
+    /// Times the instruction retired.
+    pub count: u64,
+    /// Disassembly of the instruction.
+    pub text: String,
+}
+
+/// A per-PC cycle/count histogram.
+#[derive(Debug, Clone, Default)]
+pub struct Profile {
+    cycles: Vec<u64>,
+    counts: Vec<u64>,
+    total_cycles: u64,
+}
+
+impl Profile {
+    /// Cycles attributed to `pc` (0 for never-executed).
+    pub fn cycles_at(&self, pc: usize) -> u64 {
+        self.cycles.get(pc).copied().unwrap_or(0)
+    }
+
+    /// Retire count of `pc`.
+    pub fn count_at(&self, pc: usize) -> u64 {
+        self.counts.get(pc).copied().unwrap_or(0)
+    }
+
+    /// Total profiled cycles.
+    pub fn total_cycles(&self) -> u64 {
+        self.total_cycles
+    }
+
+    /// The `k` hottest program locations, descending by cycles.
+    pub fn hottest(&self, program: &Program, k: usize) -> Vec<HotSpot> {
+        let mut pcs: Vec<usize> =
+            (0..self.cycles.len()).filter(|&pc| self.counts[pc] > 0).collect();
+        pcs.sort_by_key(|&pc| core::cmp::Reverse(self.cycles[pc]));
+        pcs.truncate(k);
+        pcs.into_iter()
+            .map(|pc| HotSpot {
+                pc,
+                cycles: self.cycles[pc],
+                count: self.counts[pc],
+                text: program
+                    .instr_at(pc)
+                    .map_or_else(|_| "<invalid>".to_string(), |i| i.to_string()),
+            })
+            .collect()
+    }
+
+    /// Formats the top-`k` report.
+    pub fn report(&self, program: &Program, k: usize) -> String {
+        use core::fmt::Write;
+        let mut out = String::new();
+        writeln!(out, "{:>8} {:>12} {:>10}  instruction", "pc", "cycles", "count")
+            .expect("write to string");
+        for h in self.hottest(program, k) {
+            let share = 100.0 * h.cycles as f64 / self.total_cycles.max(1) as f64;
+            writeln!(
+                out,
+                "{:>8} {:>12} {:>10}  {}  ({share:.1}%)",
+                h.pc, h.cycles, h.count, h.text
+            )
+            .expect("write to string");
+        }
+        out
+    }
+}
+
+/// Runs `machine` to `HALT` while building a per-PC profile.
+///
+/// # Errors
+///
+/// Propagates simulator traps; returns [`SimError::CycleLimit`] if the
+/// budget is exhausted.
+pub fn profile_run(machine: &mut Machine, max_cycles: u64) -> Result<(Stats, Profile), SimError> {
+    let mut profile = Profile::default();
+    while !machine.is_halted() {
+        let pc = machine.pc();
+        let before = machine.stats().cycles;
+        machine.step()?;
+        let spent = machine.stats().cycles - before;
+        if profile.cycles.len() <= pc {
+            profile.cycles.resize(pc + 1, 0);
+            profile.counts.resize(pc + 1, 0);
+        }
+        profile.cycles[pc] += spent;
+        profile.counts[pc] += 1;
+        profile.total_cycles += spent;
+        if profile.total_cycles > max_cycles {
+            return Err(SimError::CycleLimit { limit: max_cycles });
+        }
+    }
+    Ok((machine.stats(), profile))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineConfig;
+    use afft_isa::{Asm, Instr, Reg};
+
+    #[test]
+    fn profile_attributes_loop_cycles() {
+        let mut a = Asm::new();
+        a.li(Reg::T0, 10);
+        a.label("loop");
+        a.emit(Instr::Addi { rt: Reg::T0, rs: Reg::T0, imm: -1 });
+        a.bgtz_to(Reg::T0, "loop");
+        a.emit(Instr::Halt);
+        let program = a.assemble().unwrap();
+        let mut m = Machine::new(MachineConfig::default());
+        m.load_program(program.clone());
+        let (stats, profile) = profile_run(&mut m, 10_000).unwrap();
+
+        assert_eq!(profile.total_cycles(), stats.cycles);
+        // The addi at pc 1 retires 10 times.
+        assert_eq!(profile.count_at(1), 10);
+        assert_eq!(profile.cycles_at(1), 10);
+        // The branch dominates (taken costs 2).
+        let hot = profile.hottest(&program, 2);
+        assert_eq!(hot[0].pc, 2);
+        assert!(hot[0].text.contains("bgtz"));
+        // Report renders.
+        let r = profile.report(&program, 3);
+        assert!(r.contains("bgtz"));
+        assert!(r.contains('%'));
+    }
+
+    #[test]
+    fn profile_respects_cycle_limit() {
+        let mut a = Asm::new();
+        a.label("spin");
+        a.j_to("spin");
+        let mut m = Machine::new(MachineConfig::default());
+        m.load_program(a.assemble().unwrap());
+        assert!(matches!(profile_run(&mut m, 100), Err(SimError::CycleLimit { .. })));
+    }
+
+    #[test]
+    fn never_executed_pcs_read_zero() {
+        let p = Profile::default();
+        assert_eq!(p.cycles_at(99), 0);
+        assert_eq!(p.count_at(99), 0);
+    }
+}

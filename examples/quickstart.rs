@@ -1,0 +1,71 @@
+//! Quickstart: plan an array FFT, transform a signal on the golden
+//! model, then run the *same* transform cycle-accurately on the ASIP
+//! simulator and compare results and cost.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use afft::asip::runner::{quantize_input, run_array_fft, AsipConfig};
+use afft::core::{ArrayFft, Direction, Scaling};
+use afft::num::Complex;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 256;
+
+    // A test signal: two tones plus a DC offset.
+    let signal: Vec<Complex<f64>> = (0..n)
+        .map(|m| {
+            let t = m as f64 / n as f64;
+            let tone1 = (2.0 * std::f64::consts::PI * 10.0 * t).cos();
+            let tone2 = 0.5 * (2.0 * std::f64::consts::PI * 40.0 * t).sin();
+            Complex::new(0.2 + 0.4 * tone1 + 0.3 * tone2, 0.0)
+        })
+        .collect();
+
+    // 1. Software golden model (f64, exact amplitudes).
+    let fft: ArrayFft<f64> = ArrayFft::new(n)?;
+    let spectrum = fft.process(&signal, Direction::Forward)?;
+    println!("golden model: |X[k]| peaks");
+    for (k, bin) in spectrum.iter().enumerate().take(n / 2) {
+        let mag = bin.abs() / n as f64;
+        if mag > 0.05 {
+            println!("  bin {k:>3}: {mag:.3}");
+        }
+    }
+
+    // 2. The same transform on the cycle-accurate ASIP.
+    let input = quantize_input(&signal, 1.0);
+    let run = run_array_fft(&input, Direction::Forward, &AsipConfig::default())?;
+    println!();
+    println!(
+        "ASIP simulation: {} cycles, {} BUT4, {} LDIN, {} STOUT, {} D-cache misses",
+        run.stats.cycles,
+        run.stats.but4,
+        run.stats.ldin,
+        run.stats.stout,
+        run.stats.cache_misses()
+    );
+    println!(
+        "throughput at 300 MHz: {:.1} Mbps ({:.2} us per transform)",
+        run.stats.throughput_mbps(n, 300.0),
+        run.stats.cycles as f64 / 300.0
+    );
+
+    // 3. The fixed-point hardware tracks the golden model (output is
+    // scaled by 1/N by the per-stage halving).
+    let mut worst = 0.0f64;
+    for (hw, exact) in run.output.iter().zip(&spectrum) {
+        let err = hw.to_c64().dist(*exact * (1.0 / n as f64));
+        worst = worst.max(err);
+    }
+    println!("max |hardware - golden/N| = {worst:.2e} (16-bit datapath)");
+
+    // 4. The fixed-point ASIP output equals the Q15 golden model
+    // *bit-exactly*.
+    let golden_q15 = ArrayFft::<afft::num::Q15>::with_scaling(n, Scaling::HalfPerStage)?
+        .process(&input, Direction::Forward)?;
+    assert_eq!(run.output, golden_q15, "ISS must match the Q15 golden model bit-exactly");
+    println!("ISS output == Q15 golden model: bit-exact");
+    Ok(())
+}

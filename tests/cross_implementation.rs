@@ -1,0 +1,110 @@
+//! Cross-implementation consistency: the four Table-II implementations
+//! agree on results where they carry data, and reproduce the paper's
+//! performance hierarchy on every observable.
+
+use afft::asip::runner::{quantize_input, run_array_fft, AsipConfig};
+use afft::asip::swfft::run_software_fft;
+use afft::baselines::{ti, xtensa};
+use afft::core::reference::{dft_naive, max_error};
+use afft::core::Direction;
+use afft::num::{Complex, C64};
+use afft::sim::Timing;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_signal(n: usize, seed: u64) -> Vec<C64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect()
+}
+
+#[test]
+fn imple1_and_imple4_compute_the_same_spectrum() {
+    let n = 64;
+    let x = random_signal(n, 11);
+    let sw = run_software_fft(&x, Direction::Forward, Timing::default(), 100_000_000)
+        .expect("software FFT");
+    let want = dft_naive(&x, Direction::Forward).expect("naive");
+    assert!(max_error(&sw.output, &want) < 1e-2, "Imple1 deviates from DFT");
+
+    let asip = run_array_fft(&quantize_input(&x, 0.9), Direction::Forward, &AsipConfig::default())
+        .expect("ASIP");
+    // Compare the two hardware paths (scales differ: f32 exact vs Q15/N).
+    for k in 0..n {
+        let a = asip.output[k].to_c64() * (n as f64 / 0.9);
+        let b = sw.output[k];
+        assert!(a.dist(b) < 0.6, "bin {k}: {a:?} vs {b:?}");
+    }
+}
+
+#[test]
+fn performance_hierarchy_matches_the_paper() {
+    let n = 1024;
+    let sw = run_software_fft(&random_signal(n, 1), Direction::Forward, Timing::default(), 50_000_000)
+        .expect("sw");
+    let ti_run = ti::run_ti_fft(n, &ti::TiConfig::default());
+    let xt = xtensa::run_xtensa_fft(n, &xtensa::XtensaConfig::default());
+    let ours = run_array_fft(
+        &quantize_input(&random_signal(n, 1), 0.9),
+        Direction::Forward,
+        &AsipConfig::default(),
+    )
+    .expect("asip");
+
+    // Cycles: Imple1 >> Imple2 > Imple3 > Imple4 (paper's ordering).
+    assert!(sw.stats.cycles > 50 * ti_run.cycles, "Imple1 must dwarf the rest");
+    assert!(ti_run.cycles > xt.cycles, "TI slower than Xtensa");
+    assert!(xt.cycles > ours.stats.cycles, "Xtensa slower than the array ASIP");
+
+    // Factor bands (paper: 866.5X, 6.0X, 2.3X; we accept the same
+    // order of magnitude, see EXPERIMENTS.md).
+    let f1 = sw.stats.cycles as f64 / ours.stats.cycles as f64;
+    let f2 = ti_run.cycles as f64 / ours.stats.cycles as f64;
+    let f3 = xt.cycles as f64 / ours.stats.cycles as f64;
+    assert!((200.0..2000.0).contains(&f1), "Imple1 factor {f1}");
+    assert!((2.0..12.0).contains(&f2), "Imple2 factor {f2}");
+    assert!((1.2..4.0).contains(&f3), "Imple3 factor {f3}");
+
+    // Loads/stores: ours ~ N vs Xtensa ~ (N/2) log2 N (paper: 5.2X/4.4X).
+    assert!(xt.loads >= 4 * ours.stats.table_loads());
+    assert!(xt.stores >= 4 * ours.stats.table_stores());
+
+    // Cache misses: the streaming CRF port keeps ours far below the
+    // cached implementations.
+    assert!(ours.stats.cache_misses() < xt.cache_misses());
+    assert!(xt.cache_misses() < ti_run.cache_misses());
+}
+
+#[test]
+fn table_counts_follow_closed_forms() {
+    for n in [256usize, 1024] {
+        let run = run_array_fft(
+            &quantize_input(&random_signal(n, 2), 0.9),
+            Direction::Forward,
+            &AsipConfig::default(),
+        )
+        .expect("asip");
+        let log2n = n.trailing_zeros() as u64;
+        assert_eq!(run.stats.ldin, n as u64, "LDIN = N (N/2 per epoch)");
+        assert_eq!(run.stats.stout, n as u64, "STOUT = N");
+        assert_eq!(run.stats.but4, n as u64 * log2n / 8, "BUT4 = N log2 N / 8");
+        // Xtensa's op count formula for the same size.
+        let xt = xtensa::run_xtensa_fft(n, &xtensa::XtensaConfig::default());
+        assert_eq!(xt.loads, (n as u64 / 2) * log2n);
+    }
+}
+
+#[test]
+fn throughput_decreases_with_size_as_in_table1() {
+    let mut last = f64::INFINITY;
+    for n in [64usize, 128, 256, 512, 1024] {
+        let run = run_array_fft(
+            &quantize_input(&random_signal(n, 3), 0.9),
+            Direction::Forward,
+            &AsipConfig::default(),
+        )
+        .expect("asip");
+        let mbps = run.stats.throughput_mbps(n, 300.0);
+        assert!(mbps < last, "throughput must decrease: N={n} gives {mbps} (prev {last})");
+        last = mbps;
+    }
+}

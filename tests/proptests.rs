@@ -1,0 +1,189 @@
+//! Property-based tests over the core invariants: address algebra,
+//! fixed-point datapath, coefficient compression, and transform
+//! identities.
+
+use afft::core::address::{
+    butterfly_at, epoch0_load_addr, epoch0_store_addr, epoch1_load_addr, epoch1_store_addr,
+    natural_bin_to_transposed, sigma, transposed_to_natural_bin,
+};
+use afft::core::bits::{bit_reverse, BitPerm};
+use afft::core::reference::{dft_naive, max_error, Direction};
+use afft::core::rom::{resolve_prerot, PrerotTable};
+use afft::core::{ArrayFft, Split};
+use afft::num::{twiddle, Complex, Q15};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn bit_reverse_is_an_involution(bits in 1u32..16, x in 0usize..65536) {
+        let x = x & ((1 << bits) - 1);
+        prop_assert_eq!(bit_reverse(bit_reverse(x, bits), bits), x);
+    }
+
+    #[test]
+    fn bit_reverse_preserves_popcount(bits in 1u32..16, x in 0usize..65536) {
+        let x = x & ((1 << bits) - 1);
+        prop_assert_eq!(bit_reverse(x, bits).count_ones(), x.count_ones());
+    }
+
+    #[test]
+    fn sigma_is_a_bijection(p in 3u32..8, j in 1u32..8) {
+        let j = 1 + (j - 1) % p;
+        let s = sigma(p, j);
+        let mut seen = vec![false; 1 << p];
+        for x in 0..(1usize << p) {
+            let y = s.apply(x);
+            prop_assert!(!seen[y]);
+            seen[y] = true;
+        }
+    }
+
+    #[test]
+    fn bitperm_inverse_composes_to_identity(seed in 0u64..1000) {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut map: Vec<u32> = (0..6).collect();
+        map.shuffle(&mut rng);
+        let perm = BitPerm::from_map(map);
+        let inv = perm.inverse();
+        for x in 0..64 {
+            prop_assert_eq!(inv.apply(perm.apply(x)), x);
+        }
+    }
+
+    #[test]
+    fn butterflies_partition_the_crf(p in 3u32..8, j in 1u32..8) {
+        let j = 1 + (j - 1) % p;
+        let mut seen = vec![false; 1 << p];
+        for c in 0..(1usize << (p - 1)) {
+            let bf = butterfly_at(p, j, c);
+            prop_assert!(!seen[bf.addr_a] && !seen[bf.addr_b]);
+            seen[bf.addr_a] = true;
+            seen[bf.addr_b] = true;
+            prop_assert_eq!(bf.addr_b - bf.addr_a, 1 << (p - j));
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn epoch_maps_are_bijections(log_n in 6u32..13) {
+        let n = 1usize << log_n;
+        let split = Split::for_size(n).expect("valid");
+        let mut seen = vec![false; n];
+        for l in 0..split.q_size {
+            for m in 0..split.p_size {
+                let a = epoch0_load_addr(&split, l, m);
+                prop_assert!(!seen[a]);
+                seen[a] = true;
+            }
+        }
+        // Store map of epoch 0 equals load map of epoch 1.
+        for l in 0..split.q_size {
+            for s in 0..split.p_size {
+                prop_assert_eq!(
+                    epoch0_store_addr(&split, l, s),
+                    epoch1_load_addr(&split, s, l)
+                );
+            }
+        }
+        let mut seen = vec![false; n];
+        for s in 0..split.p_size {
+            for t in 0..split.q_size {
+                let a = epoch1_store_addr(&split, s, t);
+                prop_assert!(!seen[a]);
+                seen[a] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn transposed_layout_roundtrip(log_n in 6u32..13, k in 0usize..8192) {
+        let n = 1usize << log_n;
+        let split = Split::for_size(n).expect("valid");
+        let k = k % n;
+        prop_assert_eq!(
+            transposed_to_natural_bin(&split, natural_bin_to_transposed(&split, k)),
+            k
+        );
+    }
+
+    #[test]
+    fn prerot_resolution_is_exact(log_n in 3u32..12, e in 0usize..100_000) {
+        let n = 1usize << log_n;
+        let table: PrerotTable<f64> = PrerotTable::new(n).expect("table");
+        let got = table.coefficient(e);
+        let want = twiddle(n, e % n);
+        prop_assert!(got.dist(want) < 1e-12);
+        // And the resolved index always fits the compressed table.
+        let r = resolve_prerot(n, e);
+        prop_assert!(r.index <= n / 8);
+    }
+
+    #[test]
+    fn q15_addition_never_wraps(a in -32768i32..=32767, b in -32768i32..=32767) {
+        let qa = Q15::from_bits(a as i16);
+        let qb = Q15::from_bits(b as i16);
+        let sum = (qa + qb).to_f64();
+        let exact = qa.to_f64() + qb.to_f64();
+        // Saturating: result is the exact sum clamped to [-1, 1).
+        let clamped = exact.clamp(-1.0, 32767.0 / 32768.0);
+        prop_assert!((sum - clamped).abs() < 1e-9);
+    }
+
+    #[test]
+    fn q15_multiply_error_is_half_lsb(a in -32768i32..=32767, b in -32768i32..=32767) {
+        let qa = Q15::from_bits(a as i16);
+        let qb = Q15::from_bits(b as i16);
+        let got = (qa * qb).to_f64();
+        let exact = (qa.to_f64() * qb.to_f64()).clamp(-1.0, 32767.0 / 32768.0);
+        prop_assert!((got - exact).abs() <= 0.5 / 32768.0 + 1e-12);
+    }
+
+    #[test]
+    fn scalar_add_half_is_exact(a in -32768i32..=32767, b in -32768i32..=32767) {
+        use afft::num::Scalar;
+        let qa = Q15::from_bits(a as i16);
+        let qb = Q15::from_bits(b as i16);
+        let got = qa.add_half(qb).to_f64();
+        let exact = (qa.to_f64() + qb.to_f64()) / 2.0;
+        // Floor rounding of the arithmetic shift: error < 1 LSB.
+        prop_assert!((got - exact).abs() < 1.0 / 32768.0);
+    }
+
+    #[test]
+    fn array_fft_matches_naive_on_random_signals(
+        log_n in 6u32..10,
+        seed in 0u64..50,
+    ) {
+        let n = 1usize << log_n;
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let x: Vec<Complex<f64>> = (0..n)
+            .map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect();
+        let fft: ArrayFft<f64> = ArrayFft::new(n).expect("plan");
+        let got = fft.process(&x, Direction::Forward).expect("fft");
+        let want = dft_naive(&x, Direction::Forward).expect("naive");
+        prop_assert!(max_error(&got, &want) < 1e-7 * n as f64);
+    }
+
+    #[test]
+    fn time_shift_multiplies_spectrum_by_twiddle(shift in 1usize..63, seed in 0u64..20) {
+        let n = 64usize;
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let x: Vec<Complex<f64>> = (0..n)
+            .map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect();
+        let shifted: Vec<Complex<f64>> = (0..n).map(|m| x[(m + shift) % n]).collect();
+        let fft: ArrayFft<f64> = ArrayFft::new(n).expect("plan");
+        let fx = fft.process(&x, Direction::Forward).expect("fft");
+        let fs = fft.process(&shifted, Direction::Forward).expect("fft");
+        for k in 0..n {
+            // x(m + s) <-> X(k) * W^{-ks}
+            let want = fx[k] * twiddle(n, (k * shift) % n).conj();
+            prop_assert!(fs[k].dist(want) < 1e-8, "k={k}");
+        }
+    }
+}
