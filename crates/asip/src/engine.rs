@@ -1,0 +1,241 @@
+//! [`FftEngine`] adapter over the cycle-accurate ASIP ISS: the
+//! simulated hardware as just another backend in the registry.
+//!
+//! [`AsipEngine::execute`] quantises the `f64` input into the Q15 wire
+//! format (auto-scaled to 50% of full scale at the input peak), runs
+//! the generated Algorithm-1 program on the simulator, and rescales the
+//! output back to the unnormalised-DFT contract of the trait. Execution
+//! statistics of the most recent run (cycles, instruction classes,
+//! cache counters) are retained and exposed through
+//! [`AsipEngine::last_stats`]; [`AsipEngine::traffic`] reports the
+//! measured `LDIN`/`STOUT` point traffic once a run has happened and
+//! the closed-form prediction (`2N` points each way) before.
+//!
+//! # Examples
+//!
+//! ```
+//! use afft_asip::engine::AsipEngine;
+//! use afft_core::{Direction, FftEngine};
+//! use afft_num::Complex;
+//!
+//! let engine = AsipEngine::new(64)?;
+//! let x = vec![Complex::new(1.0, 0.0); 64];
+//! let spectrum = engine.execute(&x, Direction::Forward)?;
+//! assert!((spectrum[0].re - 64.0).abs() < 0.5);
+//! assert!(engine.last_stats().expect("ran").cycles > 0);
+//! # Ok::<(), afft_core::FftError>(())
+//! ```
+
+use crate::runner::{run_array_fft, AsipConfig, AsipError};
+use afft_core::cached::MemTraffic;
+use afft_core::engine::{EngineRegistry, FftEngine};
+use afft_core::{Direction, FftError, Split};
+use afft_num::{Complex, C64, Q15};
+use afft_sim::Stats;
+use core::cell::RefCell;
+
+/// Fraction of Q15 full scale the input peak is normalised to before
+/// quantisation: headroom against the intermediate growth the per-stage
+/// halving does not fully absorb.
+const QUANT_AMPLITUDE: f64 = 0.5;
+
+/// The cycle-accurate ASIP ISS behind the [`FftEngine`] interface.
+pub struct AsipEngine {
+    n: usize,
+    cfg: AsipConfig,
+    last_stats: RefCell<Option<Stats>>,
+}
+
+impl AsipEngine {
+    /// Plans an ASIP run of size `n` (power of two, `>= 64`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::InvalidSize`] otherwise.
+    pub fn new(n: usize) -> Result<Self, FftError> {
+        Self::with_config(n, AsipConfig::default())
+    }
+
+    /// Plans with explicit run configuration (timing model, program
+    /// options, cycle budget).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::InvalidSize`] for unsupported sizes.
+    pub fn with_config(n: usize, cfg: AsipConfig) -> Result<Self, FftError> {
+        Split::for_size(n)?;
+        Ok(AsipEngine { n, cfg, last_stats: RefCell::new(None) })
+    }
+
+    /// Execution statistics of the most recent [`FftEngine::execute`]
+    /// call, or `None` before the first run.
+    pub fn last_stats(&self) -> Option<Stats> {
+        *self.last_stats.borrow()
+    }
+
+    /// Cycle count of the most recent run, or `None` before the first.
+    pub fn last_cycles(&self) -> Option<u64> {
+        self.last_stats().map(|s| s.cycles)
+    }
+}
+
+impl core::fmt::Debug for AsipEngine {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("AsipEngine")
+            .field("n", &self.n)
+            .field("last_cycles", &self.last_cycles())
+            .finish()
+    }
+}
+
+impl FftEngine for AsipEngine {
+    fn name(&self) -> &str {
+        "asip_iss"
+    }
+
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn execute(&self, input: &[C64], dir: Direction) -> Result<Vec<C64>, FftError> {
+        if input.len() != self.n {
+            return Err(FftError::LengthMismatch { expected: self.n, got: input.len() });
+        }
+        // Normalise the peak component to QUANT_AMPLITUDE of full scale
+        // so arbitrary-magnitude inputs survive quantisation.
+        let peak = input.iter().map(|c| c.re.abs().max(c.im.abs())).fold(0.0, f64::max);
+        let scale = if peak > 0.0 { QUANT_AMPLITUDE / peak } else { 1.0 };
+        let quantised: Vec<Complex<Q15>> =
+            input.iter().map(|&c| Complex::from_c64(c * scale)).collect();
+
+        let run = run_array_fft(&quantised, dir, &self.cfg).map_err(|e| match e {
+            AsipError::Fft(e) => e,
+            other => FftError::Backend { engine: "asip_iss".into(), reason: other.to_string() },
+        })?;
+        *self.last_stats.borrow_mut() = Some(run.stats);
+
+        // The datapath scales by 1/N; undo that and the input scaling
+        // to meet the unnormalised-DFT contract.
+        let restore = self.n as f64 / scale;
+        Ok(run.output.iter().map(|q| q.to_c64() * restore).collect())
+    }
+
+    fn traffic(&self) -> Option<MemTraffic> {
+        // Each LDIN/STOUT beat moves two complex points.
+        match self.last_stats() {
+            Some(s) => {
+                Some(MemTraffic { loads: 2 * s.ldin as usize, stores: 2 * s.stout as usize })
+            }
+            // Closed form before any run: N/2 beats per epoch, two
+            // epochs, two points per beat, each way.
+            None => Some(MemTraffic { loads: 2 * self.n, stores: 2 * self.n }),
+        }
+    }
+
+    fn tolerance(&self) -> f64 {
+        // 16-bit datapath with per-stage rounding: a few percent of the
+        // spectrum peak in the worst case.
+        0.08
+    }
+
+    fn cycles(&self) -> Option<u64> {
+        self.last_cycles()
+    }
+}
+
+/// [`EngineRegistry::standard`] plus the cycle-accurate ASIP backend
+/// (for sizes the array structure supports).
+///
+/// # Errors
+///
+/// Returns [`FftError::InvalidSize`] unless `n` is a power of two `>= 2`.
+///
+/// # Examples
+///
+/// ```
+/// let registry = afft_asip::engine::registry_with_asip(1024)?;
+/// assert!(registry.get("asip_iss").is_some());
+/// assert!(registry.len() >= 5);
+/// # Ok::<(), afft_core::FftError>(())
+/// ```
+pub fn registry_with_asip(n: usize) -> Result<EngineRegistry, FftError> {
+    let mut registry = EngineRegistry::standard(n)?;
+    if Split::for_size(n).is_ok() {
+        registry.register(Box::new(AsipEngine::new(n)?));
+    }
+    Ok(registry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afft_core::reference::{dft_naive, max_error};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_signal(n: usize, seed: u64) -> Vec<C64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect()
+    }
+
+    #[test]
+    fn asip_engine_matches_naive_dft_within_tolerance() {
+        let n = 128;
+        let engine = AsipEngine::new(n).unwrap();
+        let x = random_signal(n, 1);
+        let got = engine.execute(&x, Direction::Forward).unwrap();
+        let want = dft_naive(&x, Direction::Forward).unwrap();
+        let peak = want.iter().map(|c| c.abs()).fold(0.0, f64::max);
+        let err = max_error(&got, &want) / peak;
+        assert!(err < engine.tolerance(), "relative error {err}");
+    }
+
+    #[test]
+    fn stats_and_traffic_reflect_the_run() {
+        let n = 256;
+        let engine = AsipEngine::new(n).unwrap();
+        // Before the run: the closed-form prediction.
+        assert_eq!(engine.traffic().unwrap().total(), 4 * n);
+        assert!(engine.last_stats().is_none());
+        engine.execute(&random_signal(n, 2), Direction::Forward).unwrap();
+        let stats = engine.last_stats().expect("stats retained");
+        assert_eq!(stats.ldin, n as u64);
+        assert_eq!(stats.stout, n as u64);
+        assert!(stats.cycles > 0);
+        // Measured traffic equals the prediction for the canonical
+        // program: each beat moves two points.
+        assert_eq!(engine.traffic().unwrap().total(), 4 * n);
+    }
+
+    #[test]
+    fn arbitrary_magnitude_inputs_are_normalised() {
+        let n = 64;
+        let engine = AsipEngine::new(n).unwrap();
+        // Values far outside [-1, 1): naive quantisation would saturate.
+        let x: Vec<C64> = random_signal(n, 3).iter().map(|&c| c * 1000.0).collect();
+        let got = engine.execute(&x, Direction::Forward).unwrap();
+        let want = dft_naive(&x, Direction::Forward).unwrap();
+        let peak = want.iter().map(|c| c.abs()).fold(0.0, f64::max);
+        assert!(max_error(&got, &want) / peak < engine.tolerance());
+    }
+
+    #[test]
+    fn rejects_unsupported_sizes_and_lengths() {
+        assert!(AsipEngine::new(32).is_err());
+        assert!(AsipEngine::new(96).is_err());
+        let engine = AsipEngine::new(64).unwrap();
+        assert!(matches!(
+            engine.execute(&random_signal(32, 1), Direction::Forward),
+            Err(FftError::LengthMismatch { expected: 64, got: 32 })
+        ));
+    }
+
+    #[test]
+    fn registry_with_asip_gates_on_size() {
+        let small = registry_with_asip(16).unwrap();
+        assert!(small.get("asip_iss").is_none());
+        let full = registry_with_asip(64).unwrap();
+        assert_eq!(full.names().last().copied(), Some("asip_iss"));
+        assert!(full.len() >= 6);
+    }
+}

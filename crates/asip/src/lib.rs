@@ -8,7 +8,9 @@
 //! * [`swfft`] — the standard software radix-2 FFT compiled against the
 //!   soft-float library (Imple 1 itself);
 //! * [`runner`] — stage-inputs/run/collect drivers used by examples,
-//!   integration tests and the benchmark harness.
+//!   integration tests and the benchmark harness;
+//! * [`engine`] — the [`afft_core::engine::FftEngine`] adapter that
+//!   registers the cycle-accurate ISS alongside the software backends.
 //!
 //! # Examples
 //!
@@ -27,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod layout;
 pub mod pipeline;
 pub mod program;
@@ -35,5 +38,6 @@ pub mod softfloat;
 pub mod swfft;
 pub mod swfft_fixed;
 
+pub use engine::{registry_with_asip, AsipEngine};
 pub use layout::Layout;
 pub use runner::{golden_array_fft, quantize_input, run_array_fft, AsipConfig, AsipError, AsipRun};

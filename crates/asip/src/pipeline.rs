@@ -46,9 +46,7 @@ impl FftPipeline {
         });
         // Stage the pre-rotation table once; it persists across symbols.
         for k in 0..=n / 8 {
-            machine
-                .mem_mut()
-                .write_complex(layout.table_base + 4 * k as u32, twiddle_q15(n, k))?;
+            machine.mem_mut().write_complex(layout.table_base + 4 * k as u32, twiddle_q15(n, k))?;
         }
         Ok(FftPipeline {
             machine,
@@ -82,7 +80,10 @@ impl FftPipeline {
     /// # Errors
     ///
     /// Propagates simulator traps.
-    pub fn process(&mut self, input: &[Complex<Q15>]) -> Result<(Vec<Complex<Q15>>, u64), AsipError> {
+    pub fn process(
+        &mut self,
+        input: &[Complex<Q15>],
+    ) -> Result<(Vec<Complex<Q15>>, u64), AsipError> {
         if input.len() != self.split.n {
             return Err(AsipError::Fft(afft_core::FftError::LengthMismatch {
                 expected: self.split.n,
@@ -123,9 +124,7 @@ impl FftPipeline {
     /// falls back to the overall mean with fewer than two symbols.
     pub fn steady_state_cycles(&self) -> f64 {
         match (self.first_cycles, self.symbols) {
-            (Some(first), s) if s >= 2 => {
-                (self.total_cycles - first) as f64 / (s - 1) as f64
-            }
+            (Some(first), s) if s >= 2 => (self.total_cycles - first) as f64 / (s - 1) as f64,
             (_, s) if s > 0 => self.total_cycles as f64 / s as f64,
             _ => 0.0,
         }

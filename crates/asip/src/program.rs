@@ -292,8 +292,7 @@ impl InstrBudget {
         let e1_groups = split.p_size;
         let setup = 8 + 4 + 1; // consts + nlog2/prerotbase pairs + halt
         let per_epoch = 6 + 8;
-        let overhead =
-            setup + 2 * per_epoch + e0_groups * 5 + e1_groups * 4;
+        let overhead = setup + 2 * per_epoch + e0_groups * 5 + e1_groups * 4;
         InstrBudget { ldin, stout, but4, overhead }
     }
 
@@ -326,7 +325,7 @@ mod tests {
     fn offsets_fit_immediates_up_to_16k() {
         // The generator's i16 offsets hold up to N = 16384 (stride
         // 8*Q*k maxes at (P/2-1)*8*Q = 4N - 8Q < 32768 for N <= 8192).
-        for n in [8192usize] {
+        for n in [4096usize, 8192] {
             let split = Split::for_size(n).unwrap();
             let layout = Layout::for_size(n);
             assert!(generate_array_fft(&split, &layout, ProgramOptions::default()).is_ok());

@@ -52,28 +52,10 @@ pub fn generate_software_fft(layout: &Layout) -> Result<Program, FftError> {
     let log2n = n.trailing_zeros();
     let mut a = Asm::new();
     use Instr::*;
-    let (s0, s1, s2, s3, s4, s5, s6, s7) = (
-        Reg::S0,
-        Reg::S1,
-        Reg::S2,
-        Reg::S3,
-        Reg::S4,
-        Reg::S5,
-        Reg::S6,
-        Reg::S7,
-    );
-    let (t0, t1, t2, t3, t4, t5, t6, t7, t8, t9) = (
-        Reg::T0,
-        Reg::T1,
-        Reg::T2,
-        Reg::T3,
-        Reg::T4,
-        Reg::T5,
-        Reg::T6,
-        Reg::T7,
-        Reg::T8,
-        Reg::T9,
-    );
+    let (s0, s1, s2, s3, s4, s5, s6, s7) =
+        (Reg::S0, Reg::S1, Reg::S2, Reg::S3, Reg::S4, Reg::S5, Reg::S6, Reg::S7);
+    let (t0, t1, t2, t3, t4, t5, t6, t7, t8, t9) =
+        (Reg::T0, Reg::T1, Reg::T2, Reg::T3, Reg::T4, Reg::T5, Reg::T6, Reg::T7, Reg::T8, Reg::T9);
 
     // Prologue: bases and frame pointer.
     a.li(GP, layout.float_base as i32);
@@ -293,9 +275,8 @@ mod tests {
         let n = 16;
         let x = random_signal(n, 4);
         let fwd = run_software_fft(&x, Direction::Forward, Timing::default(), 50_000_000).unwrap();
-        let inv =
-            run_software_fft(&fwd.output, Direction::Inverse, Timing::default(), 50_000_000)
-                .unwrap();
+        let inv = run_software_fft(&fwd.output, Direction::Inverse, Timing::default(), 50_000_000)
+            .unwrap();
         let got: Vec<C64> = inv.output.iter().map(|&v| v * (1.0 / n as f64)).collect();
         assert!(max_error(&got, &x) < 1e-2);
     }

@@ -37,28 +37,10 @@ pub fn generate_fixed_fft(layout: &Layout) -> Result<Program, FftError> {
     let log2n = n.trailing_zeros();
     let mut a = Asm::new();
     use Instr::*;
-    let (s0, s1, s2, s3, s4, s5, s6, s7) = (
-        Reg::S0,
-        Reg::S1,
-        Reg::S2,
-        Reg::S3,
-        Reg::S4,
-        Reg::S5,
-        Reg::S6,
-        Reg::S7,
-    );
-    let (t0, t1, t2, t3, t4, t5, t6, t7, t8, t9) = (
-        Reg::T0,
-        Reg::T1,
-        Reg::T2,
-        Reg::T3,
-        Reg::T4,
-        Reg::T5,
-        Reg::T6,
-        Reg::T7,
-        Reg::T8,
-        Reg::T9,
-    );
+    let (s0, s1, s2, s3, s4, s5, s6, s7) =
+        (Reg::S0, Reg::S1, Reg::S2, Reg::S3, Reg::S4, Reg::S5, Reg::S6, Reg::S7);
+    let (t0, t1, t2, t3, t4, t5, t6, t7, t8, t9) =
+        (Reg::T0, Reg::T1, Reg::T2, Reg::T3, Reg::T4, Reg::T5, Reg::T6, Reg::T7, Reg::T8, Reg::T9);
     let (a0, a1, a2, a3) = (Reg::A0, Reg::A1, Reg::A2, Reg::A3);
 
     a.li(Reg::GP, layout.in_base as i32);
@@ -113,7 +95,7 @@ pub fn generate_fixed_fft(layout: &Layout) -> Result<Program, FftError> {
     a.emit(Lh { rt: a3, base: s5, offset: 2 }); // bi
     a.emit(Lh { rt: t8, base: s6, offset: 0 }); // wr
     a.emit(Lh { rt: t9, base: s6, offset: 2 }); // wi
-    // t = b * w in Q15: tr = (br wr - bi wi) >> 15.
+                                                // t = b * w in Q15: tr = (br wr - bi wi) >> 15.
     a.emit(Mul { rd: t0, rs: a2, rt: t8 });
     a.emit(Mul { rd: t1, rs: a3, rt: t9 });
     a.emit(Sub { rd: t0, rs: t0, rt: t1 });
@@ -122,7 +104,7 @@ pub fn generate_fixed_fft(layout: &Layout) -> Result<Program, FftError> {
     a.emit(Mul { rd: t2, rs: a3, rt: t8 });
     a.emit(Add { rd: t1, rs: t1, rt: t2 });
     a.emit(Sra { rd: t1, rt: t1, shamt: 15 }); // ti
-    // a' = (a + t) >> 1 ; b' = (a - t) >> 1 (per-stage scaling).
+                                               // a' = (a + t) >> 1 ; b' = (a - t) >> 1 (per-stage scaling).
     a.emit(Add { rd: t2, rs: a0, rt: t0 });
     a.emit(Sra { rd: t2, rt: t2, shamt: 1 });
     a.emit(Add { rd: t3, rs: a1, rt: t1 });
@@ -222,12 +204,10 @@ mod tests {
     fn fixed_fft_matches_reference() {
         for n in [64usize, 256] {
             let x = signal(n, n as u64);
-            let run = run_fixed_fft(&x, Direction::Forward, Timing::default(), 50_000_000)
-                .unwrap();
+            let run = run_fixed_fft(&x, Direction::Forward, Timing::default(), 50_000_000).unwrap();
             let exact_in: Vec<C64> = x.iter().map(|c| c.to_c64()).collect();
             let want = dft_naive(&exact_in, Direction::Forward).unwrap();
-            let got: Vec<C64> =
-                run.output.iter().map(|c| c.to_c64() * n as f64).collect();
+            let got: Vec<C64> = run.output.iter().map(|c| c.to_c64() * n as f64).collect();
             let scale = want.iter().map(|c| c.abs()).fold(0.0, f64::max);
             assert!(
                 max_error(&got, &want) / scale < 0.03,
@@ -242,8 +222,7 @@ mod tests {
         use crate::runner::{run_array_fft, AsipConfig};
         let n = 256;
         let x = signal(n, 1);
-        let fixed =
-            run_fixed_fft(&x, Direction::Forward, Timing::default(), 50_000_000).unwrap();
+        let fixed = run_fixed_fft(&x, Direction::Forward, Timing::default(), 50_000_000).unwrap();
         let asip = run_array_fft(&x, Direction::Forward, &AsipConfig::default()).unwrap();
         let butterflies = (n / 2) as u64 * 8;
         let per_bfly = fixed.stats.cycles as f64 / butterflies as f64;
@@ -258,12 +237,10 @@ mod tests {
     fn inverse_round_trip() {
         let n = 64;
         let x = signal(n, 2);
-        let fwd =
-            run_fixed_fft(&x, Direction::Forward, Timing::default(), 50_000_000).unwrap();
-        let inv = run_fixed_fft(&fwd.output, Direction::Inverse, Timing::default(), 50_000_000)
-            .unwrap();
-        let got: Vec<C64> =
-            inv.output.iter().map(|c| c.to_c64() * n as f64).collect();
+        let fwd = run_fixed_fft(&x, Direction::Forward, Timing::default(), 50_000_000).unwrap();
+        let inv =
+            run_fixed_fft(&fwd.output, Direction::Inverse, Timing::default(), 50_000_000).unwrap();
+        let got: Vec<C64> = inv.output.iter().map(|c| c.to_c64() * n as f64).collect();
         let want: Vec<C64> = x.iter().map(|c| c.to_c64()).collect();
         assert!(max_error(&got, &want) < 0.06);
     }

@@ -34,7 +34,7 @@ fn batch_program(entry: &str, count: usize, pairs_base: u32, out_base: u32) -> a
 
 fn random_normals(count: usize, seed: u64) -> Vec<(u32, u32)> {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut gen = |rng: &mut StdRng| -> u32 {
+    let gen = |rng: &mut StdRng| -> u32 {
         // Random sign/mantissa with a biased exponent kept in a wide
         // normal band so products/sums stay normal.
         let sign = u32::from(rng.gen_bool(0.5)) << 31;

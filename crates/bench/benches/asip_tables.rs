@@ -1,18 +1,20 @@
-//! Criterion benches behind the paper's tables: each bench measures
-//! the *simulation* of one table cell, so `cargo bench` regenerates
-//! the cycle observables (printed once per bench) alongside host-side
-//! timings.
+//! Criterion benches behind the paper's tables, driven through the
+//! engine registry: each bench measures the *simulation* of one table
+//! cell, so `cargo bench` regenerates the cycle observables (printed
+//! once per bench) alongside host-side timings.
 //!
-//! * `table1/<N>` — the array-ASIP run of Table I per size;
+//! * `table1/<N>` — the array-ASIP run of Table I per size, through
+//!   the `asip_iss` engine;
 //! * `table2/<impl>` — the four Table II implementations at 1024
-//!   points (Imple 1 is benched at 256 points to keep iteration time
-//!   sane; its 1024-point cycle count is produced by the `table2`
-//!   binary).
+//!   points. The FFT-executing backends go through the registry; the
+//!   TI and Xtensa columns are trace-driven *cycle models* (they carry
+//!   no sample data, so they live outside the `FftEngine` interface),
+//!   and Imple 1 is benched at 256 points to keep iteration time sane.
 
-use afft_asip::runner::{run_array_fft, AsipConfig};
+use afft_asip::engine::registry_with_asip;
 use afft_asip::swfft::run_software_fft;
 use afft_baselines::{ti, xtensa};
-use afft_bench::workload::{random_signal, random_signal_q15};
+use afft_bench::workload::random_signal;
 use afft_core::Direction;
 use afft_sim::Timing;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -22,21 +24,19 @@ fn bench_table1(c: &mut Criterion) {
     let mut g = c.benchmark_group("table1_asip_cycles");
     g.sample_size(10);
     for n in [64usize, 128, 256, 512, 1024] {
-        let input = random_signal_q15(n, n as u64);
+        let registry = registry_with_asip(n).expect("registry");
+        let engine = registry.get("asip_iss").expect("asip engine");
+        let input = random_signal(n, n as u64);
         // Print the observable once so bench logs double as the table.
-        let stats = run_array_fft(&input, Direction::Forward, &AsipConfig::default())
-            .expect("run")
-            .stats;
+        engine.execute(&input, Direction::Forward).expect("run");
+        let cycles = engine.cycles().expect("cycle-accurate backend");
         println!(
             "[table1] N={n}: {} cycles, {:.1} Mbps@300MHz",
-            stats.cycles,
-            stats.throughput_mbps(n, 300.0)
+            cycles,
+            afft_sim::throughput_mbps(n, cycles, 300.0)
         );
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| {
-                run_array_fft(black_box(&input), Direction::Forward, &AsipConfig::default())
-                    .expect("run")
-            });
+            b.iter(|| engine.execute(black_box(&input), Direction::Forward).expect("run"));
         });
     }
     g.finish();
@@ -47,12 +47,11 @@ fn bench_table2(c: &mut Criterion) {
     g.sample_size(10);
 
     let n = 1024usize;
-    let q15 = random_signal_q15(n, 1);
+    let registry = registry_with_asip(n).expect("registry");
+    let input = random_signal(n, 1);
+    let imple4 = registry.get("asip_iss").expect("asip engine");
     g.bench_function("imple4_array_asip_1024", |b| {
-        b.iter(|| {
-            run_array_fft(black_box(&q15), Direction::Forward, &AsipConfig::default())
-                .expect("run")
-        });
+        b.iter(|| imple4.execute(black_box(&input), Direction::Forward).expect("run"));
     });
     g.bench_function("imple3_xtensa_1024", |b| {
         b.iter(|| xtensa::run_xtensa_fft(black_box(n), &xtensa::XtensaConfig::default()));

@@ -1,52 +1,32 @@
-//! Criterion benches of the software FFT kernels (host-side
-//! performance of the library itself: golden model, reference FFTs,
-//! cached FFT, address generation).
+//! Criterion benches of the software FFT kernels, driven through the
+//! [`EngineRegistry`]: every registered backend is benched with the
+//! same `execute` call, plus the address-generation closed forms.
 
 use afft_bench::workload::random_signal;
 use afft_core::address::stage_butterflies;
-use afft_core::cached::cached_fft;
-use afft_core::reference::{fft_radix2_dit_f64, Direction};
+use afft_core::engine::EngineRegistry;
 use afft_core::rom::PrerotTable;
-use afft_core::ArrayFft;
+use afft_core::Direction;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-fn bench_array_fft(c: &mut Criterion) {
-    let mut g = c.benchmark_group("array_fft_f64");
+fn bench_engines(c: &mut Criterion) {
     for n in [64usize, 256, 1024, 4096] {
-        let fft: ArrayFft<f64> = ArrayFft::new(n).expect("plan");
+        let registry = EngineRegistry::standard(n).expect("registry");
         let x = random_signal(n, n as u64);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| fft.process(black_box(&x), Direction::Forward).expect("process"));
-        });
-    }
-    g.finish();
-}
-
-fn bench_radix2(c: &mut Criterion) {
-    let mut g = c.benchmark_group("radix2_dit_f64");
-    for n in [64usize, 1024, 4096] {
-        let x = random_signal(n, 3);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| {
-                let mut d = x.clone();
-                fft_radix2_dit_f64(&mut d, Direction::Forward).expect("fft");
-                black_box(d)
+        let mut g = c.benchmark_group(&format!("engines_{n}"));
+        for engine in registry.engines() {
+            // The O(N^2) reference dominates wall-clock at large sizes;
+            // bench it where it is still the same order as the FFTs.
+            if engine.name() == "dft_naive" && n > 1024 {
+                continue;
+            }
+            g.bench_with_input(BenchmarkId::new(engine.name(), n), &x, |b, x| {
+                b.iter(|| engine.execute(black_box(x), Direction::Forward).expect("execute"));
             });
-        });
+        }
+        g.finish();
     }
-    g.finish();
-}
-
-fn bench_cached_fft(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cached_fft_baas");
-    for n in [256usize, 1024] {
-        let x = random_signal(n, 5);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| cached_fft(black_box(&x), Direction::Forward).expect("fft"));
-        });
-    }
-    g.finish();
 }
 
 fn bench_address_generation(c: &mut Criterion) {
@@ -68,11 +48,5 @@ fn bench_address_generation(c: &mut Criterion) {
     });
 }
 
-criterion_group!(
-    benches,
-    bench_array_fft,
-    bench_radix2,
-    bench_cached_fft,
-    bench_address_generation
-);
+criterion_group!(benches, bench_engines, bench_address_generation);
 criterion_main!(benches);

@@ -78,11 +78,8 @@ fn main() {
     );
     println!();
 
-    let noprerot = run_with(
-        &input,
-        ProgramOptions { skip_prerot: true, ..ProgramOptions::default() },
-        false,
-    );
+    let noprerot =
+        run_with(&input, ProgramOptions { skip_prerot: true, ..ProgramOptions::default() }, false);
     println!("3. pre-rotation disabled (transform intentionally wrong; cost only):");
     println!(
         "  cycles {}  =>  multiply-on-store costs {} cycles ({:.1}% of the run)",

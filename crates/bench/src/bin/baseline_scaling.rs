@@ -6,8 +6,8 @@
 use afft_asip::runner::{run_array_fft, AsipConfig};
 use afft_asip::swfft::run_software_fft;
 use afft_baselines::{ti, xtensa};
-use afft_bench::workload::{random_signal, random_signal_q15};
 use afft_bench::row;
+use afft_bench::workload::{random_signal, random_signal_q15};
 use afft_core::Direction;
 use afft_sim::Timing;
 
@@ -30,18 +30,24 @@ fn main() {
         )
     );
     for n in [64usize, 128, 256, 512, 1024, 2048, 4096] {
-        let ours = run_array_fft(&random_signal_q15(n, 1), Direction::Forward, &AsipConfig::default())
-            .expect("asip")
-            .stats
-            .cycles;
+        let ours =
+            run_array_fft(&random_signal_q15(n, 1), Direction::Forward, &AsipConfig::default())
+                .expect("asip")
+                .stats
+                .cycles;
         let ti_c = ti::run_ti_fft(n, &ti::TiConfig::default()).cycles;
         let xt_c = xtensa::run_xtensa_fft(n, &xtensa::XtensaConfig::default()).cycles;
         let sw_c = if n <= 1024 {
             Some(
-                run_software_fft(&random_signal(n, 1), Direction::Forward, Timing::default(), 100_000_000)
-                    .expect("sw")
-                    .stats
-                    .cycles,
+                run_software_fft(
+                    &random_signal(n, 1),
+                    Direction::Forward,
+                    Timing::default(),
+                    100_000_000,
+                )
+                .expect("sw")
+                .stats
+                .cycles,
             )
         } else {
             None

@@ -1,0 +1,27 @@
+//! Experiment E8 — the backend survey: every registered
+//! [`FftEngine`](afft_core::engine::FftEngine) (software models plus
+//! the cycle-accurate ASIP ISS) on one signal per size, with deviation
+//! from the golden DFT, modelled memory traffic and cycle counts.
+//!
+//! This is the registry in one screen: the Table II memory-traffic
+//! story (plain FFT moves `N log2 N` points each way, the epoch
+//! structures `2N`) and the ASIP's cycle counts, with no
+//! backend-specific call sites anywhere in the harness.
+
+use afft_bench::paper::{render_survey, survey};
+
+fn main() {
+    for n in [64usize, 256, 1024, 4096] {
+        println!("== backend survey at N = {n} ==");
+        match survey(n, n as u64) {
+            Ok(reports) => {
+                print!("{}", render_survey(&reports));
+                let ok = reports.iter().all(|r| r.within_tolerance());
+                println!("all {} backends within tolerance: {}", reports.len(), ok);
+                assert!(ok, "a backend deviated beyond its declared tolerance");
+            }
+            Err(e) => println!("survey failed: {e}"),
+        }
+        println!();
+    }
+}

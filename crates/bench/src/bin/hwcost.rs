@@ -2,8 +2,8 @@
 //! numbers**: gate counts, power and critical path of the custom
 //! hardware, plus a P-scaling sweep extension.
 
-use afft_bench::row;
 use afft_bench::paper::hw;
+use afft_bench::row;
 use afft_hwmodel::{asip_cost, TechLibrary, PISA_CORE_GATES};
 
 fn main() {
@@ -16,11 +16,7 @@ fn main() {
     println!(
         "{}",
         row(
-            &[
-                "BU+AC gates".into(),
-                format!("{:.0}", c.bu_ac_gates),
-                hw::BU_AC_GATES.to_string()
-            ],
+            &["BU+AC gates".into(), format!("{:.0}", c.bu_ac_gates), hw::BU_AC_GATES.to_string()],
             &widths
         )
     );
@@ -84,7 +80,10 @@ fn main() {
         "area overhead vs base core: {:.1}%  (paper: 33K / 106K = 31.1%)",
         100.0 * c.overhead_vs_pisa()
     );
-    println!("max clock from critical path: {:.0} MHz (paper: \"up to 300 MHz\")", c.max_clock_mhz());
+    println!(
+        "max clock from critical path: {:.0} MHz (paper: \"up to 300 MHz\")",
+        c.max_clock_mhz()
+    );
 
     println!();
     {
@@ -92,12 +91,9 @@ fn main() {
         use afft_bench::workload::random_signal_q15;
         use afft_core::Direction;
         use afft_hwmodel::energy_per_transform_nj;
-        let run = run_array_fft(
-            &random_signal_q15(1024, 1),
-            Direction::Forward,
-            &AsipConfig::default(),
-        )
-        .expect("ASIP run");
+        let run =
+            run_array_fft(&random_signal_q15(1024, 1), Direction::Forward, &AsipConfig::default())
+                .expect("ASIP run");
         println!(
             "energy per 1024-point FFT (custom hardware, 300 MHz): {:.0} nJ ({} cycles)",
             energy_per_transform_nj(&c, run.stats.cycles, 300.0),
@@ -111,13 +107,7 @@ fn main() {
     println!(
         "{}",
         row(
-            &[
-                "P".into(),
-                "BU+AC".into(),
-                "CRF+ROM".into(),
-                "total".into(),
-                "overhead%".into()
-            ],
+            &["P".into(), "BU+AC".into(), "CRF+ROM".into(), "total".into(), "overhead%".into()],
             &widths
         )
     );

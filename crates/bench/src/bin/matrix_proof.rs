@@ -3,7 +3,9 @@
 //! `B_j = S_j^{-1} M_j S_j`) for every stage of every supported group
 //! size, and checks that the composed stages equal the DFT matrix.
 
-use afft_core::matrix::{check_conjugation_identity, check_paper_identity, stage_operator, CMatrix};
+use afft_core::matrix::{
+    check_conjugation_identity, check_paper_identity, stage_operator, CMatrix,
+};
 use afft_core::reference::Direction;
 
 fn main() {

@@ -17,8 +17,7 @@ fn main() {
     let n = 1024usize;
     let split = Split::for_size(n).expect("valid size");
     let layout = Layout::for_size(n);
-    let program =
-        generate_array_fft(&split, &layout, ProgramOptions::default()).expect("generate");
+    let program = generate_array_fft(&split, &layout, ProgramOptions::default()).expect("generate");
 
     let mut machine = Machine::new(MachineConfig {
         mem_bytes: layout.mem_bytes,

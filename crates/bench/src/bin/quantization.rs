@@ -5,8 +5,8 @@
 //! This quantifies the cost of the paper's simple `HalfPerStage`
 //! datapath and what the BFP extension would buy.
 
-use afft_bench::workload::random_signal;
 use afft_bench::row;
+use afft_bench::workload::random_signal;
 use afft_core::bfp::bfp_array_fft;
 use afft_core::reference::dft_naive;
 use afft_core::snr::{effective_bits, snr_db};
@@ -33,8 +33,7 @@ fn main() {
     for n in [64usize, 256, 1024] {
         for level in [0.9, 0.1, 0.01] {
             let sig = random_signal(n, n as u64 + (level * 1000.0) as u64);
-            let xq: Vec<Complex<Q15>> =
-                sig.iter().map(|&c| Complex::from_c64(c * level)).collect();
+            let xq: Vec<Complex<Q15>> = sig.iter().map(|&c| Complex::from_c64(c * level)).collect();
             let exact_in: Vec<C64> = xq.iter().map(|c| c.to_c64()).collect();
             let want = dft_naive(&exact_in, Direction::Forward).expect("reference");
 

@@ -5,8 +5,8 @@
 //! non-canonical split sweep on the golden model.
 
 use afft_asip::runner::{run_array_fft, AsipConfig};
-use afft_bench::workload::{random_signal, random_signal_q15};
 use afft_bench::row;
+use afft_bench::workload::{random_signal, random_signal_q15};
 use afft_core::reference::{dft_naive, max_error};
 use afft_core::{ArrayFft, Direction, Scaling, Split};
 
@@ -32,8 +32,8 @@ fn main() {
     for n in [128usize, 256, 512, 1024, 2048, 4096] {
         let split = Split::for_size(n).expect("valid size");
         let input = random_signal_q15(n, n as u64);
-        let run = run_array_fft(&input, Direction::Forward, &AsipConfig::default())
-            .expect("ASIP run");
+        let run =
+            run_array_fft(&input, Direction::Forward, &AsipConfig::default()).expect("ASIP run");
         println!(
             "{}",
             row(
@@ -55,8 +55,7 @@ fn main() {
     println!("non-canonical splits of 1024 on the golden model (max error vs naive DFT):");
     for (p, q) in [(32usize, 32usize), (64, 16), (128, 8)] {
         let split = Split::with_factors(1024, p, q).expect("valid factors");
-        let fft: ArrayFft<f64> =
-            ArrayFft::with_split(split, Scaling::None).expect("plan");
+        let fft: ArrayFft<f64> = ArrayFft::with_split(split, Scaling::None).expect("plan");
         let x = random_signal(1024, 9);
         let got = fft.process(&x, Direction::Forward).expect("process");
         let want = dft_naive(&x, Direction::Forward).expect("reference");
@@ -75,8 +74,5 @@ fn main() {
         run.stats.cycles,
         symbol_ns / 1000.0
     );
-    println!(
-        "  sample throughput: {:.1} Msamples/s",
-        128.0 * 300.0 / run.stats.cycles as f64
-    );
+    println!("  sample throughput: {:.1} Msamples/s", 128.0 * 300.0 / run.stats.cycles as f64);
 }

@@ -1,10 +1,12 @@
 //! Experiment E1 — regenerates the paper's **Table I**: cycle count and
 //! data throughput of the array-FFT ASIP across FFT sizes, plus the
-//! 2048/4096-point scalability extension rows.
+//! 2048/4096-point scalability extension rows. The ASIP is driven
+//! through its [`FftEngine`](afft_core::engine::FftEngine) adapter.
 
-use afft_asip::runner::{run_array_fft, AsipConfig};
+use afft_asip::engine::AsipEngine;
 use afft_bench::paper::TABLE1;
-use afft_bench::{row, workload::random_signal_q15};
+use afft_bench::{row, workload::random_signal};
+use afft_core::engine::FftEngine;
 use afft_core::Direction;
 
 fn main() {
@@ -25,11 +27,11 @@ fn main() {
         )
     );
     for n in [64usize, 128, 256, 512, 1024, 2048, 4096] {
-        let input = random_signal_q15(n, n as u64);
-        let run = run_array_fft(&input, Direction::Forward, &AsipConfig::default())
-            .expect("ASIP run failed");
-        let cycles = run.stats.cycles;
-        let mbps = run.stats.throughput_mbps(n, 300.0);
+        let engine = AsipEngine::new(n).expect("plan");
+        engine.execute(&random_signal(n, n as u64), Direction::Forward).expect("ASIP run failed");
+        let stats = engine.last_stats().expect("cycle-accurate run retains stats");
+        let cycles = stats.cycles;
+        let mbps = stats.throughput_mbps(n, 300.0);
         let paper = TABLE1.iter().find(|r| r.n == n);
         let (pc, pm, ratio) = match paper {
             Some(p) => (
@@ -42,14 +44,7 @@ fn main() {
         println!(
             "{}",
             row(
-                &[
-                    n.to_string(),
-                    cycles.to_string(),
-                    format!("{mbps:.1}"),
-                    pc,
-                    pm,
-                    ratio,
-                ],
+                &[n.to_string(), cycles.to_string(), format!("{mbps:.1}"), pc, pm, ratio,],
                 &widths
             )
         );

@@ -3,12 +3,13 @@
 //! stores and data-cache misses, with the improvement factors of the
 //! array ASIP over each baseline.
 
-use afft_asip::runner::{run_array_fft, AsipConfig};
+use afft_asip::engine::AsipEngine;
 use afft_asip::swfft::run_software_fft;
 use afft_baselines::{ti, xtensa};
 use afft_bench::paper::TABLE2;
-use afft_bench::workload::{random_signal, random_signal_q15};
+use afft_bench::workload::random_signal;
 use afft_bench::{factor, row};
+use afft_core::engine::FftEngine;
 use afft_core::Direction;
 use afft_sim::Timing;
 
@@ -26,15 +27,17 @@ fn main() {
     println!();
 
     // Imple 1: standard software (soft-float) FFT on the base core.
-    let sw = run_software_fft(&random_signal(n, 1), Direction::Forward, Timing::default(), 50_000_000)
-        .expect("software FFT run");
+    let sw =
+        run_software_fft(&random_signal(n, 1), Direction::Forward, Timing::default(), 50_000_000)
+            .expect("software FFT run");
     // Imple 2: TI C6713 VLIW model.
     let ti_run = ti::run_ti_fft(n, &ti::TiConfig::default());
     // Imple 3: Xtensa FFT ASIP model.
     let xt = xtensa::run_xtensa_fft(n, &xtensa::XtensaConfig::default());
-    // Imple 4: our array-FFT ASIP.
-    let ours = run_array_fft(&random_signal_q15(n, 1), Direction::Forward, &AsipConfig::default())
-        .expect("ASIP run");
+    // Imple 4: our array-FFT ASIP, through the engine adapter.
+    let imple4 = AsipEngine::new(n).expect("plan");
+    imple4.execute(&random_signal(n, 1), Direction::Forward).expect("ASIP run");
+    let ours = imple4.last_stats().expect("cycle-accurate run retains stats");
 
     let rows = [
         Row {
@@ -60,10 +63,10 @@ fn main() {
         },
         Row {
             name: "Imple4 array ASIP",
-            cycles: ours.stats.cycles,
-            loads: Some(ours.stats.table_loads()),
-            stores: Some(ours.stats.table_stores()),
-            misses: ours.stats.cache_misses(),
+            cycles: ours.cycles,
+            loads: Some(ours.table_loads()),
+            stores: Some(ours.table_stores()),
+            misses: ours.cache_misses(),
         },
     ];
 

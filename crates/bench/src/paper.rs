@@ -1,5 +1,15 @@
-//! The paper's published numbers, kept next to the harnesses so every
-//! report prints paper-vs-measured side by side.
+//! The paper's published numbers plus the registry-driven measurement
+//! harness: every report is produced by iterating the
+//! [`FftEngine`](afft_core::engine::FftEngine) registry — no
+//! backend-specific call sites — and printed next to the paper's
+//! figures.
+
+use afft_asip::engine::registry_with_asip;
+use afft_core::cached::MemTraffic;
+use afft_core::reference::max_error;
+use afft_core::{Direction, FftError};
+
+use crate::workload::random_signal;
 
 /// One row of the paper's Table I.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -77,6 +87,105 @@ pub mod hw {
     pub const PISA_GATES: u64 = 106_000;
 }
 
+/// One engine's measurement from a registry survey.
+#[derive(Debug, Clone)]
+pub struct EngineReport {
+    /// Engine name ([`FftEngine::name`](afft_core::engine::FftEngine::name)).
+    pub name: String,
+    /// Transform size surveyed.
+    pub n: usize,
+    /// Maximum deviation from the registry's golden reference,
+    /// relative to the spectrum peak.
+    pub relative_error: f64,
+    /// The engine's declared tolerance for that deviation.
+    pub tolerance: f64,
+    /// Modelled main-memory traffic, where the backend reports it.
+    pub traffic: Option<MemTraffic>,
+    /// Cycle count, on cycle-accurate backends.
+    pub cycles: Option<u64>,
+}
+
+impl EngineReport {
+    /// Whether the measured deviation is inside the declared tolerance.
+    pub fn within_tolerance(&self) -> bool {
+        self.relative_error < self.tolerance
+    }
+}
+
+/// Runs every registered backend (software models plus the
+/// cycle-accurate ASIP ISS) on one random signal and reports each
+/// engine's deviation, traffic and cycles.
+///
+/// The first registered engine — the naive DFT — is the golden
+/// reference the others are measured against; everything is reached
+/// through the [`FftEngine`](afft_core::engine::FftEngine) trait.
+///
+/// # Errors
+///
+/// Returns [`FftError`] for unsupported sizes or backend failures.
+pub fn survey(n: usize, seed: u64) -> Result<Vec<EngineReport>, FftError> {
+    let registry = registry_with_asip(n)?;
+    let x = random_signal(n, seed);
+    let golden = registry
+        .get("dft_naive")
+        .expect("standard registry always carries the golden reference")
+        .execute(&x, Direction::Forward)?;
+    let peak = golden.iter().map(|c| c.abs()).fold(f64::MIN_POSITIVE, f64::max);
+
+    let mut reports = Vec::with_capacity(registry.len());
+    for engine in registry.engines() {
+        // The golden reference already ran; reuse it rather than pay
+        // the O(N^2) naive DFT a second time per survey.
+        let spectrum = if engine.name() == "dft_naive" {
+            golden.clone()
+        } else {
+            engine.execute(&x, Direction::Forward)?
+        };
+        reports.push(EngineReport {
+            name: engine.name().to_string(),
+            n,
+            relative_error: max_error(&spectrum, &golden) / peak,
+            tolerance: engine.tolerance(),
+            traffic: engine.traffic(),
+            cycles: engine.cycles(),
+        });
+    }
+    Ok(reports)
+}
+
+/// Renders a [`survey`] as an aligned text table.
+pub fn render_survey(reports: &[EngineReport]) -> String {
+    let widths = [12usize, 6, 12, 10, 10, 10];
+    let mut out = crate::row(
+        &[
+            "engine".into(),
+            "N".into(),
+            "rel err".into(),
+            "loads".into(),
+            "stores".into(),
+            "cycles".into(),
+        ],
+        &widths,
+    );
+    out.push('\n');
+    let opt = |v: Option<u64>| v.map_or("-".to_string(), |x| x.to_string());
+    for r in reports {
+        out.push_str(&crate::row(
+            &[
+                r.name.clone(),
+                r.n.to_string(),
+                format!("{:.2e}", r.relative_error),
+                opt(r.traffic.map(|t| t.loads as u64)),
+                opt(r.traffic.map(|t| t.stores as u64)),
+                opt(r.cycles),
+            ],
+            &widths,
+        ));
+        out.push('\n');
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -97,5 +206,26 @@ mod tests {
             let rel = (implied - r.throughput_mbps).abs() / r.throughput_mbps;
             assert!(rel < 0.01, "n={}: implied {implied} vs {}", r.n, r.throughput_mbps);
         }
+    }
+
+    #[test]
+    fn survey_covers_all_backends_at_1024() {
+        let reports = survey(1024, 7).expect("survey");
+        assert!(reports.len() >= 5, "got {} backends", reports.len());
+        assert!(reports.iter().all(EngineReport::within_tolerance));
+        // The cycle-accurate backend reports cycles and traffic.
+        let asip = reports.iter().find(|r| r.name == "asip_iss").expect("asip registered");
+        assert!(asip.cycles.expect("cycles") > 0);
+        assert_eq!(asip.traffic.expect("traffic").total(), 4 * 1024);
+        let rendered = render_survey(&reports);
+        assert!(rendered.contains("asip_iss") && rendered.contains("array_fft"));
+    }
+
+    #[test]
+    fn survey_works_below_the_array_threshold() {
+        let reports = survey(16, 1).expect("survey");
+        let names: Vec<&str> = reports.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, ["dft_naive", "radix2_dit", "radix2_dif", "mcfft"]);
+        assert!(reports.iter().all(EngineReport::within_tolerance));
     }
 }

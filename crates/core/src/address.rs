@@ -433,8 +433,7 @@ mod tests {
     fn closed_form_matches_sigma_enumeration_as_sets() {
         for p in 3..=7u32 {
             for j in 1..=p {
-                let a: BTreeSet<Butterfly> =
-                    stage_butterflies(p, j).into_iter().collect();
+                let a: BTreeSet<Butterfly> = stage_butterflies(p, j).into_iter().collect();
                 let b: BTreeSet<Butterfly> =
                     stage_butterflies_via_sigma(p, j).into_iter().collect();
                 assert_eq!(a, b, "p={p} j={j}");
@@ -482,18 +481,14 @@ mod tests {
         // so their stage 2 is our stage p-2+1 = 4.
         let p = 5;
         let ours = 4;
-        let addrs: Vec<usize> =
-            stage_butterflies(p, ours).iter().map(|b| b.rom_addr).collect();
-        let want: Vec<usize> =
-            std::iter::repeat(0).take(8).chain(std::iter::repeat(8).take(8)).collect();
+        let addrs: Vec<usize> = stage_butterflies(p, ours).iter().map(|b| b.rom_addr).collect();
+        let want: Vec<usize> = std::iter::repeat_n(0, 8).chain(std::iter::repeat_n(8, 8)).collect();
         assert_eq!(addrs, want);
         // Their stage 1 (our stage 5): stride 16 every 16 steps => all 0.
-        let addrs: Vec<usize> =
-            stage_butterflies(p, 5).iter().map(|b| b.rom_addr).collect();
+        let addrs: Vec<usize> = stage_butterflies(p, 5).iter().map(|b| b.rom_addr).collect();
         assert!(addrs.iter().all(|&a| a == 0));
         // Their stage 5 (our stage 1): stride 1 => 0..16.
-        let addrs: Vec<usize> =
-            stage_butterflies(p, 1).iter().map(|b| b.rom_addr).collect();
+        let addrs: Vec<usize> = stage_butterflies(p, 1).iter().map(|b| b.rom_addr).collect();
         assert_eq!(addrs, (0..16).collect::<Vec<_>>());
     }
 
@@ -584,7 +579,7 @@ mod tests {
     #[test]
     fn reverse_low_bits_matches_manual() {
         let split = Split::for_size(64).unwrap(); // p = 3
-        // addr = [hi=0b101][lo=0b011] -> lo reversed = 0b110.
+                                                  // addr = [hi=0b101][lo=0b011] -> lo reversed = 0b110.
         let addr = (0b101 << 3) | 0b011;
         assert_eq!(reverse_low_bits(&split, addr), (0b101 << 3) | 0b110);
     }

@@ -243,9 +243,9 @@ mod tests {
         let x = random_signal(n, 2);
         let nat = fft.process(&x, Direction::Forward).unwrap();
         let tr = fft.process_transposed(&x, Direction::Forward).unwrap();
-        for addr in 0..n {
+        for (addr, &v) in tr.iter().enumerate() {
             let k = transposed_to_natural_bin(fft.split(), addr);
-            assert!(tr[addr].dist(nat[k]) < 1e-12);
+            assert!(v.dist(nat[k]) < 1e-12);
         }
     }
 
@@ -313,8 +313,7 @@ mod tests {
         let n = 64;
         let fft: ArrayFft<f64> = ArrayFft::new(n).unwrap();
         for tone in [0usize, 1, 7, 31, 63] {
-            let x: Vec<C64> =
-                (0..n).map(|m| afft_num::twiddle(n, (tone * m) % n).conj()).collect();
+            let x: Vec<C64> = (0..n).map(|m| afft_num::twiddle(n, (tone * m) % n).conj()).collect();
             let y = fft.process(&x, Direction::Forward).unwrap();
             for (k, bin) in y.iter().enumerate() {
                 let expect = if k == tone { n as f64 } else { 0.0 };

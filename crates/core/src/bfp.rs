@@ -96,10 +96,7 @@ fn run_group_bfp(
 ///
 /// Returns [`FftError`] for unsupported sizes or mismatched lengths
 /// (same constraints as [`ArrayFft`](crate::ArrayFft)).
-pub fn bfp_array_fft(
-    input: &[Complex<Q15>],
-    dir: Direction,
-) -> Result<BfpOutput, FftError> {
+pub fn bfp_array_fft(input: &[Complex<Q15>], dir: Direction) -> Result<BfpOutput, FftError> {
     let split = Split::for_size(input.len())?;
     let s = &split;
     let rom: CoefRom<Q15> = CoefRom::new(s.p_size)?;
@@ -192,8 +189,7 @@ mod tests {
 
     fn snr_db(reference: &[C64], measured: &[C64]) -> f64 {
         let sig: f64 = reference.iter().map(|c| c.norm_sqr()).sum();
-        let err: f64 =
-            reference.iter().zip(measured).map(|(a, b)| (*a - *b).norm_sqr()).sum();
+        let err: f64 = reference.iter().zip(measured).map(|(a, b)| (*a - *b).norm_sqr()).sum();
         10.0 * (sig / err.max(1e-300)).log10()
     }
 
@@ -240,8 +236,7 @@ mod tests {
         let bfp_f = to_f64_scaled(&bfp);
         let bfp_snr = snr_db(&want, &bfp_f);
 
-        let fixed: ArrayFft<Q15> =
-            ArrayFft::with_scaling(n, Scaling::HalfPerStage).unwrap();
+        let fixed: ArrayFft<Q15> = ArrayFft::with_scaling(n, Scaling::HalfPerStage).unwrap();
         let fx = fixed.process(&x, Direction::Forward).unwrap();
         let fx_f: Vec<C64> = fx.iter().map(|c| c.to_c64() * n as f64).collect();
         let fixed_snr = snr_db(&want, &fx_f);

@@ -245,7 +245,7 @@ mod tests {
         // Address with d=1, e=0, f=0 is 0b100 = 4.
         assert_eq!(edf.apply(0b100), 0b010); // e,d,f = 0,1,0
         assert_eq!(efd.apply(0b100), 0b001); // e,f,d = 0,0,1
-        // And the final R (bit reverse of def) equals fed.
+                                             // And the final R (bit reverse of def) equals fed.
         let fed = BitPerm::from_map(vec![2, 1, 0]);
         for x in 0..8 {
             assert_eq!(fed.apply(x), bit_reverse(x, 3));

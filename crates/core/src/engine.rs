@@ -1,0 +1,529 @@
+//! The polymorphic execution layer: every FFT backend in the workspace
+//! behind one [`FftEngine`] trait, enumerable through an
+//! [`EngineRegistry`].
+//!
+//! The paper compares one algorithm across several execution substrates
+//! (golden models, prior-art architectures, the cycle-accurate ASIP).
+//! Before this layer each backend exposed an ad-hoc signature and every
+//! harness carried per-backend glue; now a harness iterates the
+//! registry and calls [`FftEngine::execute`].
+//!
+//! # Contract
+//!
+//! For a length-`N` engine, `execute(x, Direction::Forward)` returns the
+//! *unnormalised* DFT `X(k) = sum_m x(m) W_N^{km}` in natural bin order,
+//! and `execute(x, Direction::Inverse)` the unnormalised conjugate sum,
+//! so `execute(execute(x, Forward), Inverse) == N * x` for every engine.
+//! Backends that scale internally (e.g. the per-stage-halving Q15
+//! datapath) rescale to meet this contract; their [`FftEngine::tolerance`]
+//! reports the expected deviation relative to the spectrum peak.
+//!
+//! # Examples
+//!
+//! ```
+//! use afft_core::engine::EngineRegistry;
+//! use afft_core::Direction;
+//! use afft_num::Complex;
+//!
+//! let registry = EngineRegistry::standard(64)?;
+//! assert!(registry.len() >= 5);
+//! let x = vec![Complex::new(1.0, 0.0); 64];
+//! for engine in registry.engines() {
+//!     let spectrum = engine.execute(&x, Direction::Forward)?;
+//!     assert!((spectrum[0].re - 64.0).abs() < 1e-6, "{}", engine.name());
+//! }
+//! # Ok::<(), afft_core::FftError>(())
+//! ```
+
+use crate::array::ArrayFft;
+use crate::cached::{cached_fft, plain_fft_traffic, MemTraffic};
+use crate::error::FftError;
+use crate::mcfft::{mcfft, Epochs};
+use crate::plan::Split;
+use crate::reference::{
+    bit_reverse_permute, dft_naive, fft_radix2_dif_f64, fft_radix2_dit_f64, Direction,
+};
+use afft_num::C64;
+
+/// A uniform interface over every FFT backend in the workspace.
+///
+/// See the [module documentation](self) for the execute contract.
+pub trait FftEngine {
+    /// Stable snake_case identifier (e.g. `"array_fft"`, `"asip_iss"`).
+    fn name(&self) -> &str;
+
+    /// The transform size `N` this engine instance is planned for.
+    fn len(&self) -> usize;
+
+    /// Never true for a planned engine; provided alongside
+    /// [`FftEngine::len`] for API completeness.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Runs the transform. Input length must equal [`FftEngine::len`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] for wrong input lengths, or
+    /// a backend-specific error ([`FftError::Backend`]) when the
+    /// execution substrate fails.
+    fn execute(&self, input: &[C64], dir: Direction) -> Result<Vec<C64>, FftError>;
+
+    /// Main-memory traffic of one transform in complex points, where
+    /// the backend models it (`None` for pure math backends).
+    fn traffic(&self) -> Option<MemTraffic>;
+
+    /// Expected worst-case deviation from the exact DFT, relative to
+    /// the spectrum peak. Exact-arithmetic backends keep the default;
+    /// quantised datapaths override it.
+    fn tolerance(&self) -> f64 {
+        1e-8
+    }
+
+    /// Cycle count of the most recent [`FftEngine::execute`], on
+    /// backends with a cycle-accurate substrate (`None` elsewhere).
+    fn cycles(&self) -> Option<u64> {
+        None
+    }
+}
+
+fn check_len(engine: &dyn FftEngine, input: &[C64]) -> Result<(), FftError> {
+    if input.len() != engine.len() {
+        return Err(FftError::LengthMismatch { expected: engine.len(), got: input.len() });
+    }
+    Ok(())
+}
+
+/// The naive `O(N^2)` DFT as an engine: the golden reference.
+#[derive(Debug, Clone, Copy)]
+pub struct NaiveDftEngine {
+    n: usize,
+}
+
+impl NaiveDftEngine {
+    /// Plans a naive DFT of size `n` (any non-zero size).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::InvalidSize`] for `n == 0`.
+    pub fn new(n: usize) -> Result<Self, FftError> {
+        if n == 0 {
+            return Err(FftError::InvalidSize { n, reason: "empty transform" });
+        }
+        Ok(NaiveDftEngine { n })
+    }
+}
+
+impl FftEngine for NaiveDftEngine {
+    fn name(&self) -> &str {
+        "dft_naive"
+    }
+
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn execute(&self, input: &[C64], dir: Direction) -> Result<Vec<C64>, FftError> {
+        check_len(self, input)?;
+        dft_naive(input, dir)
+    }
+
+    fn traffic(&self) -> Option<MemTraffic> {
+        None
+    }
+}
+
+/// The classic radix-2 decimation-in-time FFT as an engine.
+#[derive(Debug, Clone, Copy)]
+pub struct Radix2DitEngine {
+    n: usize,
+}
+
+impl Radix2DitEngine {
+    /// Plans a DIT FFT of size `n` (power of two, `>= 2`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::InvalidSize`] otherwise.
+    pub fn new(n: usize) -> Result<Self, FftError> {
+        check_pow2_size(n)?;
+        Ok(Radix2DitEngine { n })
+    }
+}
+
+impl FftEngine for Radix2DitEngine {
+    fn name(&self) -> &str {
+        "radix2_dit"
+    }
+
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn execute(&self, input: &[C64], dir: Direction) -> Result<Vec<C64>, FftError> {
+        check_len(self, input)?;
+        let mut data = input.to_vec();
+        fft_radix2_dit_f64(&mut data, dir)?;
+        Ok(data)
+    }
+
+    fn traffic(&self) -> Option<MemTraffic> {
+        Some(plain_fft_traffic(self.n))
+    }
+}
+
+/// The radix-2 decimation-in-frequency FFT as an engine (its
+/// bit-reversed output is re-ordered to natural order).
+#[derive(Debug, Clone, Copy)]
+pub struct Radix2DifEngine {
+    n: usize,
+}
+
+impl Radix2DifEngine {
+    /// Plans a DIF FFT of size `n` (power of two, `>= 2`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::InvalidSize`] otherwise.
+    pub fn new(n: usize) -> Result<Self, FftError> {
+        check_pow2_size(n)?;
+        Ok(Radix2DifEngine { n })
+    }
+}
+
+impl FftEngine for Radix2DifEngine {
+    fn name(&self) -> &str {
+        "radix2_dif"
+    }
+
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn execute(&self, input: &[C64], dir: Direction) -> Result<Vec<C64>, FftError> {
+        check_len(self, input)?;
+        let mut data = input.to_vec();
+        fft_radix2_dif_f64(&mut data, dir)?;
+        bit_reverse_permute(&mut data);
+        Ok(data)
+    }
+
+    fn traffic(&self) -> Option<MemTraffic> {
+        Some(plain_fft_traffic(self.n))
+    }
+}
+
+/// The array-structured FFT golden model is itself an engine.
+impl FftEngine for ArrayFft<f64> {
+    fn name(&self) -> &str {
+        "array_fft"
+    }
+
+    fn len(&self) -> usize {
+        ArrayFft::len(self)
+    }
+
+    fn execute(&self, input: &[C64], dir: Direction) -> Result<Vec<C64>, FftError> {
+        self.process(input, dir)
+    }
+
+    fn traffic(&self) -> Option<MemTraffic> {
+        // One load and one store per point per epoch through the CRF
+        // streaming port (the LDIN/STOUT beat count times two points).
+        let n = ArrayFft::len(self);
+        Some(MemTraffic { loads: 2 * n, stores: 2 * n })
+    }
+}
+
+/// Baas's two-epoch cached FFT as an engine.
+#[derive(Debug, Clone, Copy)]
+pub struct CachedFftEngine {
+    n: usize,
+}
+
+impl CachedFftEngine {
+    /// Plans a cached FFT of size `n` (power of two, `>= 64`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::InvalidSize`] otherwise.
+    pub fn new(n: usize) -> Result<Self, FftError> {
+        Split::for_size(n)?;
+        Ok(CachedFftEngine { n })
+    }
+}
+
+impl FftEngine for CachedFftEngine {
+    fn name(&self) -> &str {
+        "cached_fft"
+    }
+
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn execute(&self, input: &[C64], dir: Direction) -> Result<Vec<C64>, FftError> {
+        check_len(self, input)?;
+        Ok(cached_fft(input, dir)?.bins)
+    }
+
+    fn traffic(&self) -> Option<MemTraffic> {
+        // Two epochs, each touching every point once in each direction.
+        Some(MemTraffic { loads: 2 * self.n, stores: 2 * self.n })
+    }
+}
+
+/// The multi-epoch cached FFT (MCFFT) as an engine.
+#[derive(Debug, Clone)]
+pub struct McfftEngine {
+    epochs: Epochs,
+}
+
+impl McfftEngine {
+    /// Plans an MCFFT with the canonical decomposition for `n`: epochs
+    /// of at most 16 points, mirroring a small-cache configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::InvalidSize`] unless `n` is a power of two
+    /// `>= 2`.
+    pub fn new(n: usize) -> Result<Self, FftError> {
+        check_pow2_size(n)?;
+        let mut factors = Vec::new();
+        let mut bits = n.trailing_zeros();
+        while bits > 0 {
+            let step = bits.min(4);
+            factors.push(1usize << step);
+            bits -= step;
+        }
+        Self::with_epochs(Epochs::new(n, &factors)?)
+    }
+
+    /// Plans an MCFFT with an explicit epoch decomposition.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible; kept fallible for API symmetry.
+    pub fn with_epochs(epochs: Epochs) -> Result<Self, FftError> {
+        Ok(McfftEngine { epochs })
+    }
+
+    /// The epoch decomposition in use.
+    pub fn epochs(&self) -> &Epochs {
+        &self.epochs
+    }
+}
+
+impl FftEngine for McfftEngine {
+    fn name(&self) -> &str {
+        "mcfft"
+    }
+
+    fn len(&self) -> usize {
+        self.epochs.n()
+    }
+
+    fn execute(&self, input: &[C64], dir: Direction) -> Result<Vec<C64>, FftError> {
+        check_len(self, input)?;
+        mcfft(input, &self.epochs, dir)
+    }
+
+    fn traffic(&self) -> Option<MemTraffic> {
+        Some(self.epochs.traffic())
+    }
+}
+
+fn check_pow2_size(n: usize) -> Result<(), FftError> {
+    if !n.is_power_of_two() {
+        return Err(FftError::InvalidSize { n, reason: "not a power of two" });
+    }
+    if n < 2 {
+        return Err(FftError::InvalidSize { n, reason: "must be at least 2" });
+    }
+    Ok(())
+}
+
+/// An ordered collection of [`FftEngine`] backends for one size.
+#[derive(Default)]
+pub struct EngineRegistry {
+    engines: Vec<Box<dyn FftEngine>>,
+}
+
+impl EngineRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Every software backend of this crate that supports size `n`:
+    /// always the naive DFT, both radix-2 FFTs and the MCFFT; from
+    /// `n >= 64` (the smallest array-structured size) also the array
+    /// FFT and Baas's cached FFT.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::InvalidSize`] unless `n` is a power of two
+    /// `>= 2`.
+    pub fn standard(n: usize) -> Result<Self, FftError> {
+        check_pow2_size(n)?;
+        let mut registry = EngineRegistry::new();
+        registry.register(Box::new(NaiveDftEngine::new(n)?));
+        registry.register(Box::new(Radix2DitEngine::new(n)?));
+        registry.register(Box::new(Radix2DifEngine::new(n)?));
+        registry.register(Box::new(McfftEngine::new(n)?));
+        if Split::for_size(n).is_ok() {
+            registry.register(Box::new(ArrayFft::<f64>::new(n)?));
+            registry.register(Box::new(CachedFftEngine::new(n)?));
+        }
+        Ok(registry)
+    }
+
+    /// Adds an engine; duplicate names are rejected by debug assertion.
+    pub fn register(&mut self, engine: Box<dyn FftEngine>) -> &mut Self {
+        debug_assert!(
+            self.get(engine.name()).is_none(),
+            "duplicate engine name {:?}",
+            engine.name()
+        );
+        self.engines.push(engine);
+        self
+    }
+
+    /// Iterates the registered engines in registration order.
+    pub fn engines(&self) -> impl Iterator<Item = &dyn FftEngine> {
+        self.engines.iter().map(Box::as_ref)
+    }
+
+    /// Looks an engine up by name.
+    pub fn get(&self, name: &str) -> Option<&dyn FftEngine> {
+        self.engines().find(|e| e.name() == name)
+    }
+
+    /// The registered engine names, in registration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.engines().map(FftEngine::name).collect()
+    }
+
+    /// Number of registered engines.
+    pub fn len(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.engines.is_empty()
+    }
+}
+
+impl core::fmt::Debug for EngineRegistry {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("EngineRegistry").field("engines", &self.names()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::max_error;
+    use afft_num::Complex;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_signal(n: usize, seed: u64) -> Vec<C64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect()
+    }
+
+    #[test]
+    fn standard_registry_size_gates() {
+        for n in [8usize, 16, 32] {
+            let r = EngineRegistry::standard(n).unwrap();
+            assert_eq!(r.names(), ["dft_naive", "radix2_dit", "radix2_dif", "mcfft"], "n={n}");
+        }
+        for n in [64usize, 256, 1024] {
+            let r = EngineRegistry::standard(n).unwrap();
+            assert_eq!(
+                r.names(),
+                ["dft_naive", "radix2_dit", "radix2_dif", "mcfft", "array_fft", "cached_fft"],
+                "n={n}"
+            );
+        }
+        assert!(EngineRegistry::standard(0).is_err());
+        assert!(EngineRegistry::standard(48).is_err());
+    }
+
+    #[test]
+    fn all_engines_agree_with_the_naive_dft() {
+        for n in [8usize, 64, 256] {
+            let registry = EngineRegistry::standard(n).unwrap();
+            let x = random_signal(n, n as u64);
+            let want = dft_naive(&x, Direction::Forward).unwrap();
+            let peak = want.iter().map(|c| c.abs()).fold(0.0, f64::max);
+            for engine in registry.engines() {
+                let got = engine.execute(&x, Direction::Forward).unwrap();
+                let err = max_error(&got, &want) / peak;
+                assert!(err < engine.tolerance(), "{} at n={n}: {err}", engine.name());
+            }
+        }
+    }
+
+    #[test]
+    fn every_engine_round_trips() {
+        let n = 64;
+        let registry = EngineRegistry::standard(n).unwrap();
+        let x = random_signal(n, 5);
+        for engine in registry.engines() {
+            let spectrum = engine.execute(&x, Direction::Forward).unwrap();
+            let back = engine.execute(&spectrum, Direction::Inverse).unwrap();
+            let got: Vec<C64> = back.iter().map(|&v| v * (1.0 / n as f64)).collect();
+            assert!(
+                max_error(&got, &x) < engine.tolerance() * n as f64,
+                "{} round trip",
+                engine.name()
+            );
+        }
+    }
+
+    #[test]
+    fn length_mismatch_is_uniformly_reported() {
+        let registry = EngineRegistry::standard(64).unwrap();
+        let x = random_signal(32, 1);
+        for engine in registry.engines() {
+            assert!(
+                matches!(
+                    engine.execute(&x, Direction::Forward),
+                    Err(FftError::LengthMismatch { expected: 64, got: 32 })
+                ),
+                "{}",
+                engine.name()
+            );
+        }
+    }
+
+    #[test]
+    fn traffic_reporting_matches_the_motivating_counts() {
+        let n = 1024usize;
+        let registry = EngineRegistry::standard(n).unwrap();
+        // The paper's Section II motivation: plain FFT moves N log2 N
+        // points each way; the epoch structures move 2N each way.
+        let plain = registry.get("radix2_dit").unwrap().traffic().unwrap();
+        assert_eq!(plain.loads, n * 10);
+        let cached = registry.get("cached_fft").unwrap().traffic().unwrap();
+        assert_eq!(cached.total(), 4 * n);
+        let array = registry.get("array_fft").unwrap().traffic().unwrap();
+        assert_eq!(array.total(), 4 * n);
+        assert!(registry.get("dft_naive").unwrap().traffic().is_none());
+    }
+
+    #[test]
+    fn registry_lookup_and_registration() {
+        let mut r = EngineRegistry::new();
+        assert!(r.is_empty());
+        r.register(Box::new(NaiveDftEngine::new(8).unwrap()));
+        assert_eq!(r.len(), 1);
+        assert!(r.get("dft_naive").is_some());
+        assert!(r.get("missing").is_none());
+        assert_eq!(format!("{r:?}"), "EngineRegistry { engines: [\"dft_naive\"] }");
+    }
+}

@@ -26,6 +26,15 @@ pub enum FftError {
         /// Human-readable description of the violation.
         reason: String,
     },
+    /// An [`FftEngine`](crate::engine::FftEngine) backend failed for a
+    /// reason specific to its execution substrate (e.g. a simulator
+    /// trap inside the cycle-accurate ISS backend).
+    Backend {
+        /// The reporting engine's name.
+        engine: String,
+        /// Human-readable description of the failure.
+        reason: String,
+    },
 }
 
 impl fmt::Display for FftError {
@@ -39,6 +48,9 @@ impl fmt::Display for FftError {
             }
             FftError::InvalidDecomposition { reason } => {
                 write!(f, "invalid epoch decomposition: {reason}")
+            }
+            FftError::Backend { engine, reason } => {
+                write!(f, "engine {engine} failed: {reason}")
             }
         }
     }
@@ -58,6 +70,8 @@ mod tests {
         assert!(e.to_string().contains("64"));
         let e = FftError::InvalidDecomposition { reason: "factors".into() };
         assert!(e.to_string().contains("factors"));
+        let e = FftError::Backend { engine: "asip_iss".into(), reason: "trap".into() };
+        assert_eq!(e.to_string(), "engine asip_iss failed: trap");
     }
 
     #[test]

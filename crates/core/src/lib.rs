@@ -19,7 +19,10 @@
 //!   form;
 //! * [`reference`](mod@reference), [`cached`], [`mcfft`] — the naive DFT, radix-2 FFTs,
 //!   Baas's cached FFT and the variable-epoch MCFFT, used as golden
-//!   references and comparison baselines.
+//!   references and comparison baselines;
+//! * [`engine`] — the [`FftEngine`] trait and [`EngineRegistry`]: every
+//!   backend above behind one polymorphic execute interface (the
+//!   cycle-accurate ISS registers through `afft_asip`).
 //!
 //! # Quickstart
 //!
@@ -42,6 +45,7 @@ pub mod array;
 pub mod bfp;
 pub mod bits;
 pub mod cached;
+pub mod engine;
 pub mod error;
 pub mod matrix;
 pub mod mcfft;
@@ -55,6 +59,8 @@ pub mod stage;
 pub mod window;
 
 pub use array::ArrayFft;
+pub use cached::MemTraffic;
+pub use engine::{EngineRegistry, FftEngine};
 pub use error::FftError;
 pub use plan::Split;
 pub use reference::Direction;

@@ -263,8 +263,7 @@ mod tests {
                 // Recover the index map.
                 let mut map = vec![0usize; n];
                 for i in 0..n {
-                    let hits: Vec<usize> =
-                        (0..n).filter(|&k| l[(i, k)].abs() > 0.5).collect();
+                    let hits: Vec<usize> = (0..n).filter(|&k| l[(i, k)].abs() > 0.5).collect();
                     assert_eq!(hits.len(), 1, "not a permutation matrix");
                     map[i] = hits[0];
                 }
@@ -318,8 +317,9 @@ mod tests {
                 a[(i, j)] = Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0));
             }
         }
-        let x: Vec<C64> =
-            (0..n).map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect();
+        let x: Vec<C64> = (0..n)
+            .map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect();
         let got = a.matvec(&x);
         // Compare against the product with a one-column embedding.
         for (i, g) in got.iter().enumerate() {
@@ -334,11 +334,7 @@ mod tests {
     #[test]
     fn permutation_matrix_gathers() {
         let p = CMatrix::permutation(&[2, 0, 1]);
-        let x = vec![
-            Complex::new(10.0, 0.0),
-            Complex::new(20.0, 0.0),
-            Complex::new(30.0, 0.0),
-        ];
+        let x = vec![Complex::new(10.0, 0.0), Complex::new(20.0, 0.0), Complex::new(30.0, 0.0)];
         let y = p.matvec(&x);
         assert_eq!(y[0].re, 30.0);
         assert_eq!(y[1].re, 10.0);

@@ -178,8 +178,7 @@ mod tests {
     fn multipath_within_cp_is_equalizable() {
         let ofdm = Ofdm::new(256, 64).unwrap();
         // A 3-tap channel shorter than the CP.
-        let taps =
-            vec![Complex::new(1.0, 0.0), Complex::new(0.4, -0.2), Complex::new(-0.1, 0.15)];
+        let taps = vec![Complex::new(1.0, 0.0), Complex::new(0.4, -0.2), Complex::new(-0.1, 0.15)];
         // Channel estimation from a known pilot.
         let pilot_bits = random_bits(256, 2);
         let pilot = qpsk_map(&pilot_bits);

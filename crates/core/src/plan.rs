@@ -67,7 +67,8 @@ impl Split {
         if split.q_size < MIN_GROUP {
             return Err(FftError::InvalidSize {
                 n,
-                reason: "smaller than 64: epoch-1 groups would not fill the 8-point butterfly module",
+                reason:
+                    "smaller than 64: epoch-1 groups would not fill the 8-point butterfly module",
             });
         }
         Ok(split)
@@ -93,7 +94,9 @@ impl Split {
         }
         if p_size < MIN_GROUP || q_size < MIN_GROUP {
             return Err(FftError::InvalidDecomposition {
-                reason: format!("factors {p_size}, {q_size} below butterfly-module minimum {MIN_GROUP}"),
+                reason: format!(
+                    "factors {p_size}, {q_size} below butterfly-module minimum {MIN_GROUP}"
+                ),
             });
         }
         Ok(Split {

@@ -262,10 +262,7 @@ mod tests {
 
     #[test]
     fn dft_rejects_empty() {
-        assert!(matches!(
-            dft_naive(&[], Direction::Forward),
-            Err(FftError::InvalidSize { .. })
-        ));
+        assert!(matches!(dft_naive(&[], Direction::Forward), Err(FftError::InvalidSize { .. })));
     }
 
     #[test]
@@ -327,8 +324,7 @@ mod tests {
     fn fixed_point_dit_tracks_float_with_scaling() {
         let n = 256;
         let xf = random_signal(n, 3);
-        let xq: Vec<Complex<Q15>> =
-            xf.iter().map(|&c| Complex::from_c64(c * 0.5)).collect();
+        let xq: Vec<Complex<Q15>> = xf.iter().map(|&c| Complex::from_c64(c * 0.5)).collect();
         let mut want: Vec<C64> = xq.iter().map(|q| q.to_c64()).collect();
         fft_radix2_dit_f64(&mut want, Direction::Forward).unwrap();
         let want_scaled: Vec<C64> = want.iter().map(|&v| v * (1.0 / n as f64)).collect();

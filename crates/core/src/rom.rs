@@ -39,8 +39,7 @@ impl<T: Scalar> CoefRom<T> {
     /// at least 2.
     pub fn new(p_size: usize) -> Result<Self, FftError> {
         crate::reference::check_pow2(p_size)?;
-        let entries =
-            (0..p_size / 2).map(|k| Complex::from_c64(twiddle(p_size, k))).collect();
+        let entries = (0..p_size / 2).map(|k| Complex::from_c64(twiddle(p_size, k))).collect();
         Ok(CoefRom { p_size, entries })
     }
 
@@ -332,8 +331,7 @@ mod tests {
         let eighth = 8;
         for e in 0..16 {
             let r = t.resolve(e);
-            let expect_index =
-                if (e / eighth) % 2 == 0 { e % eighth } else { eighth - e % eighth };
+            let expect_index = if (e / eighth) % 2 == 0 { e % eighth } else { eighth - e % eighth };
             assert_eq!(r.index, expect_index, "e={e}");
         }
     }

@@ -71,8 +71,7 @@ mod tests {
     #[test]
     fn known_noise_level() {
         let reference = vec![Complex::new(1.0, 0.0); 100];
-        let measured: Vec<C64> =
-            reference.iter().map(|c| *c + Complex::new(0.001, 0.0)).collect();
+        let measured: Vec<C64> = reference.iter().map(|c| *c + Complex::new(0.001, 0.0)).collect();
         let snr = snr_db(&reference, &measured);
         assert!((snr - 60.0).abs() < 0.1, "snr {snr}");
         assert!((rms_error(&reference, &measured) - 0.001).abs() < 1e-12);

@@ -186,8 +186,7 @@ mod tests {
         let p = g.trailing_zeros();
         let mut mid: Vec<C64> = (0..g).map(|s| crf[bit_reverse(s, p)]).collect();
         run_group(&mut mid, &rom, g, Direction::Inverse, Scaling::None);
-        let got: Vec<C64> =
-            (0..g).map(|s| mid[bit_reverse(s, p)] * (1.0 / g as f64)).collect();
+        let got: Vec<C64> = (0..g).map(|s| mid[bit_reverse(s, p)] * (1.0 / g as f64)).collect();
         assert!(max_error(&got, &x) < 1e-12);
     }
 
@@ -223,19 +222,15 @@ mod tests {
         let g = 32;
         let xf = random_group(g, 8);
         let rom: CoefRom<Q15> = CoefRom::new(g).unwrap();
-        let mut crf: Vec<Complex<Q15>> =
-            xf.iter().map(|&c| Complex::from_c64(c * 0.9)).collect();
+        let mut crf: Vec<Complex<Q15>> = xf.iter().map(|&c| Complex::from_c64(c * 0.9)).collect();
         run_group(&mut crf, &rom, g, Direction::Forward, Scaling::HalfPerStage);
-        let want = dft_naive(
-            &crf.iter().map(|_| Complex::zero()).collect::<Vec<_>>(),
-            Direction::Forward,
-        );
+        let want =
+            dft_naive(&crf.iter().map(|_| Complex::zero()).collect::<Vec<_>>(), Direction::Forward);
         drop(want); // the real comparison below uses the quantised input
         let xq: Vec<C64> = xf.iter().map(|&c| Complex::<Q15>::from_c64(c * 0.9).to_c64()).collect();
         let exact = dft_naive(&xq, Direction::Forward).unwrap();
         let p = g.trailing_zeros();
-        let got: Vec<C64> =
-            (0..g).map(|s| crf[bit_reverse(s, p)].to_c64() * g as f64).collect();
+        let got: Vec<C64> = (0..g).map(|s| crf[bit_reverse(s, p)].to_c64() * g as f64).collect();
         assert!(max_error(&got, &exact) < 0.05 * g as f64, "fixed-point drift");
     }
 

@@ -86,9 +86,7 @@ mod tests {
     #[test]
     fn coherent_gains_match_textbook_values() {
         // Asymptotic gains: Hann 0.50, Hamming 0.54, Blackman 0.42.
-        for (w, gain) in
-            [(Window::Hann, 0.5), (Window::Hamming, 0.54), (Window::Blackman, 0.42)]
-        {
+        for (w, gain) in [(Window::Hann, 0.5), (Window::Hamming, 0.54), (Window::Blackman, 0.42)] {
             let g = w.coherent_gain(4096);
             assert!((g - gain).abs() < 0.01, "{w:?}: {g}");
         }

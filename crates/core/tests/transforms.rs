@@ -6,7 +6,9 @@ use afft_core::bfp::bfp_array_fft;
 use afft_core::cached::cached_fft;
 use afft_core::mcfft::{mcfft, Epochs};
 use afft_core::realfft::RealFft;
-use afft_core::reference::{dft_naive, fft_radix2_dif_f64, fft_radix2_dit_f64, bit_reverse_permute, max_error, Direction};
+use afft_core::reference::{
+    bit_reverse_permute, dft_naive, fft_radix2_dif_f64, fft_radix2_dit_f64, max_error, Direction,
+};
 use afft_core::{ArrayFft, Scaling, Split};
 use afft_num::{Complex, C64, Q15};
 use rand::rngs::StdRng;
@@ -36,12 +38,9 @@ fn all_f64_transforms_agree() {
     let epochs = Epochs::new(n, &[32, 32]).unwrap();
     let mc = mcfft(&x, &epochs, Direction::Forward).unwrap();
 
-    for (name, other) in [
-        ("radix2-dit", &dit),
-        ("radix2-dif", &dif),
-        ("cached", &cached),
-        ("mcfft", &mc),
-    ] {
+    for (name, other) in
+        [("radix2-dit", &dit), ("radix2-dif", &dif), ("cached", &cached), ("mcfft", &mc)]
+    {
         assert!(max_error(&array, other) < 1e-8, "array vs {name}");
     }
 }
@@ -101,8 +100,7 @@ fn realfft_consistent_with_array_fft() {
     let full = rfft.expand_full(&bins);
 
     let complex_in: Vec<C64> = real.iter().map(|&v| Complex::new(v, 0.0)).collect();
-    let want =
-        ArrayFft::<f64>::new(len).unwrap().process(&complex_in, Direction::Forward).unwrap();
+    let want = ArrayFft::<f64>::new(len).unwrap().process(&complex_in, Direction::Forward).unwrap();
     assert!(max_error(&full, &want) < 1e-8);
 }
 

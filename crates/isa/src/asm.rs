@@ -54,7 +54,10 @@ enum Item {
     /// Branch with the offset field to be patched from a label.
     Branch(Instr, String),
     /// Jump (`J`/`JAL`) with the target to be patched from a label.
-    Jump { link: bool, label: String },
+    Jump {
+        link: bool,
+        label: String,
+    },
 }
 
 /// An in-progress assembly unit.
@@ -203,10 +206,7 @@ impl Asm {
                     let target = self.lookup(label)?;
                     let offset = target as i64 - (idx as i64 + 1);
                     if offset < i64::from(i16::MIN) || offset > i64::from(i16::MAX) {
-                        return Err(AsmError::BranchOutOfRange {
-                            label: label.clone(),
-                            offset,
-                        });
+                        return Err(AsmError::BranchOutOfRange { label: label.clone(), offset });
                     }
                     patch_branch(*i, offset as i16).encode()
                 }
@@ -304,10 +304,7 @@ mod tests {
     fn undefined_label_is_an_error() {
         let mut a = Asm::new();
         a.j_to("nowhere");
-        assert_eq!(
-            a.assemble(),
-            Err(AsmError::UndefinedLabel { label: "nowhere".into() })
-        );
+        assert_eq!(a.assemble(), Err(AsmError::UndefinedLabel { label: "nowhere".into() }));
     }
 
     #[test]
@@ -323,9 +320,6 @@ mod tests {
         let mut a = Asm::new();
         a.mv(Reg::T1, Reg::T2);
         let p = a.assemble().unwrap();
-        assert_eq!(
-            p.instr_at(0).unwrap(),
-            Instr::Or { rd: Reg::T1, rs: Reg::T2, rt: Reg::ZERO }
-        );
+        assert_eq!(p.instr_at(0).unwrap(), Instr::Or { rd: Reg::T1, rs: Reg::T2, rt: Reg::ZERO });
     }
 }

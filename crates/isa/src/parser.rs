@@ -141,8 +141,7 @@ fn parse_instruction(asm: &mut Asm, text: &str, line: usize) -> Result<(), Parse
         Some((m, r)) => (m, r.trim()),
         None => (text, ""),
     };
-    let ops: Vec<&str> =
-        rest.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+    let ops: Vec<&str> = rest.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
     let reg = |s: &str| Reg::parse(s).ok_or_else(|| err(format!("bad register `{s}`")));
     let imm16 = |s: &str| -> Result<i16, ParseError> {
         parse_int(s)
@@ -151,7 +150,9 @@ fn parse_instruction(asm: &mut Asm, text: &str, line: usize) -> Result<(), Parse
     };
     let uimm16 = |s: &str| -> Result<u16, ParseError> {
         parse_int(s)
-            .and_then(|v| u16::try_from(v as u32 & 0xffff).ok().filter(|_| (0..=0xffff).contains(&v)))
+            .and_then(|v| {
+                u16::try_from(v as u32 & 0xffff).ok().filter(|_| (0..=0xffff).contains(&v))
+            })
             .ok_or_else(|| err(format!("bad immediate `{s}`")))
     };
     let need = |n: usize| -> Result<(), ParseError> {
@@ -166,8 +167,7 @@ fn parse_instruction(asm: &mut Asm, text: &str, line: usize) -> Result<(), Parse
         let open = s.find('(').ok_or_else(|| err(format!("bad address `{s}`")))?;
         let close = s.rfind(')').ok_or_else(|| err(format!("bad address `{s}`")))?;
         let off = s[..open].trim();
-        let off =
-            if off.is_empty() { 0 } else { imm16(off)? };
+        let off = if off.is_empty() { 0 } else { imm16(off)? };
         let base = reg(s[open + 1..close].trim())?;
         Ok((base, off))
     };
@@ -426,10 +426,7 @@ mod directive_tests {
     fn constant_pool_is_loadable() {
         // Labels address words: a program can lw from its own pool via
         // the label's word index * 4.
-        let p = assemble_text(
-            "j start\npool: .word 123\nstart: lw v0, 4(zero)\nhalt",
-        )
-        .unwrap();
+        let p = assemble_text("j start\npool: .word 123\nstart: lw v0, 4(zero)\nhalt").unwrap();
         assert_eq!(p.words()[1], 123);
     }
 

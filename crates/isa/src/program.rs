@@ -71,9 +71,7 @@ impl Program {
             use fmt::Write;
             match Instr::decode(w) {
                 Ok(i) => writeln!(out, "{:6}: {:08x}  {}", pc, w, i).expect("write to string"),
-                Err(_) => {
-                    writeln!(out, "{:6}: {:08x}  <invalid>", pc, w).expect("write to string")
-                }
+                Err(_) => writeln!(out, "{:6}: {:08x}  <invalid>", pc, w).expect("write to string"),
             }
         }
         out

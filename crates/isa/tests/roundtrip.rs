@@ -51,8 +51,7 @@ fn instr() -> impl Strategy<Value = Instr> {
         (reg(), reg()).prop_map(|(stage, module)| But4 { stage, module }),
         (reg(), any::<i16>()).prop_map(|(base, offset)| Ldin { base, offset }),
         (reg(), any::<i16>()).prop_map(|(base, offset)| Stout { base, offset }),
-        (reg(), 0usize..FftCfg::ALL.len())
-            .prop_map(|(rs, s)| Mtfft { rs, sel: FftCfg::ALL[s] }),
+        (reg(), 0usize..FftCfg::ALL.len()).prop_map(|(rs, s)| Mtfft { rs, sel: FftCfg::ALL[s] }),
     ]
 }
 

@@ -459,10 +459,8 @@ mod tests {
 
     #[test]
     fn q15_ordering_matches_value_ordering() {
-        let mut vals: Vec<Q15> = [-0.5, 0.25, -1.0, 0.75, 0.0]
-            .iter()
-            .map(|&v| Q15::from_f64(v))
-            .collect();
+        let mut vals: Vec<Q15> =
+            [-0.5, 0.25, -1.0, 0.75, 0.0].iter().map(|&v| Q15::from_f64(v)).collect();
         vals.sort();
         let f: Vec<f64> = vals.iter().map(|q| q.to_f64()).collect();
         assert_eq!(f, vec![-1.0, -0.5, 0.0, 0.25, 0.75]);

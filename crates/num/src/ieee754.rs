@@ -239,7 +239,7 @@ mod tests {
     fn mul_simple_cases() {
         check_mul(1.5, -2.0);
         check_mul(0.1, 0.2);
-        check_mul(3.14159, 2.71828);
+        check_mul(3.15625, 2.71875);
         check_mul(0.0, 5.0);
         check_mul(-0.0, 5.0);
         check_mul(1.0, 1.0);

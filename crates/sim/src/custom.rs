@@ -127,7 +127,10 @@ impl FftUnit {
             FftCfg::GroupSizeLog2 => {
                 let max = self.crf.len().trailing_zeros();
                 if !(3..=max).contains(&value) {
-                    return Err(err(format!("group size 2^{value} outside 8..=CRF {}", self.crf.len())));
+                    return Err(err(format!(
+                        "group size 2^{value} outside 8..=CRF {}",
+                        self.crf.len()
+                    )));
                 }
                 self.gsize_log2 = value;
                 self.ldptr = 0;
@@ -181,9 +184,7 @@ impl FftUnit {
         let g = self.group_size();
         let p = self.gsize_log2;
         if stage == 0 || stage > p {
-            return Err(SimError::FftUnit {
-                reason: format!("BUT4 stage {stage} out of 1..={p}"),
-            });
+            return Err(SimError::FftUnit { reason: format!("BUT4 stage {stage} out of 1..={p}") });
         }
         let modules = g / 8;
         if module == 0 || module as usize > modules {
@@ -219,8 +220,7 @@ impl FftUnit {
         let s0 = self.stptr;
         let s1 = (self.stptr + 1) % g;
         self.stptr = (self.stptr + 2) % g;
-        let values =
-            [self.crf[bit_reverse(s0, p)], self.crf[bit_reverse(s1, p)]];
+        let values = [self.crf[bit_reverse(s0, p)], self.crf[bit_reverse(s1, p)]];
         let n = 1usize << self.n_log2;
         let fetch = |s: usize| -> Option<CoefFetch> {
             if !self.prerot_enable {
@@ -231,10 +231,7 @@ impl FftUnit {
                 return None; // trivial rotation: W^0 = 1, no fetch
             }
             let r = resolve_prerot(n, e);
-            Some(CoefFetch {
-                table_byte_offset: self.prerot_base + 4 * r.index as u32,
-                op: r.op,
-            })
+            Some(CoefFetch { table_byte_offset: self.prerot_base + 4 * r.index as u32, op: r.op })
         };
         StoutBeat { values, coef: [fetch(s0), fetch(s1)] }
     }

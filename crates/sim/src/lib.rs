@@ -42,5 +42,5 @@ pub mod timing;
 pub use cache::{Cache, CacheConfig, CacheStats};
 pub use error::SimError;
 pub use machine::{stage_input, Machine, MachineConfig};
-pub use stats::Stats;
+pub use stats::{throughput_mbps, Stats};
 pub use timing::Timing;

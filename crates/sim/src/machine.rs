@@ -199,9 +199,7 @@ impl Machine {
             Or { rd, rs, rt } => self.alu3(rd, rs, rt, |a, b| a | b),
             Xor { rd, rs, rt } => self.alu3(rd, rs, rt, |a, b| a ^ b),
             Nor { rd, rs, rt } => self.alu3(rd, rs, rt, |a, b| !(a | b)),
-            Slt { rd, rs, rt } => {
-                self.alu3(rd, rs, rt, |a, b| u32::from((a as i32) < (b as i32)))
-            }
+            Slt { rd, rs, rt } => self.alu3(rd, rs, rt, |a, b| u32::from((a as i32) < (b as i32))),
             Sltu { rd, rs, rt } => self.alu3(rd, rs, rt, |a, b| u32::from(a < b)),
             Sll { rd, rt, shamt } => {
                 let v = self.reg(rt) << shamt;
@@ -376,10 +374,8 @@ impl Machine {
                 if stride == 1 {
                     // One 64-bit beat of two adjacent points.
                     let beat = self.mem.read_u64(addr)?;
-                    self.fft.ldin([
-                        unpack_complex(beat as u32),
-                        unpack_complex((beat >> 32) as u32),
-                    ]);
+                    self.fft
+                        .ldin([unpack_complex(beat as u32), unpack_complex((beat >> 32) as u32)]);
                     self.charge_custom_access(addr, false, t.custom_mem);
                 } else {
                     // Corner-turn gather: two 32-bit fetches `stride`
@@ -622,9 +618,8 @@ mod tests {
         let mut m = machine();
         // Stage 8 points at address 0, run a full 8-point FFT group via
         // custom instructions, store to address 256.
-        let x: Vec<Complex<Q15>> = (0..8)
-            .map(|i| Complex::new(Q15::from_f64(f64::from(i) / 32.0), Q15::ZERO))
-            .collect();
+        let x: Vec<Complex<Q15>> =
+            (0..8).map(|i| Complex::new(Q15::from_f64(f64::from(i) / 32.0), Q15::ZERO)).collect();
         stage_input(&mut m, 0, &x).unwrap();
 
         let mut a = Asm::new();

@@ -221,9 +221,8 @@ mod tests {
     #[test]
     fn slice_helpers() {
         let mut m = Memory::new(64);
-        let data: Vec<Complex<Q15>> = (0..8)
-            .map(|i| Complex::new(Q15::from_f64(i as f64 / 16.0), Q15::ZERO))
-            .collect();
+        let data: Vec<Complex<Q15>> =
+            (0..8).map(|i| Complex::new(Q15::from_f64(i as f64 / 16.0), Q15::ZERO)).collect();
         m.write_complex_slice(0, &data).unwrap();
         assert_eq!(m.read_complex_slice(0, 8).unwrap(), data);
     }

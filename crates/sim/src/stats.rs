@@ -70,11 +70,19 @@ impl Stats {
     /// bits per sample at a 300 MHz clock:
     /// `throughput = 6 * N * f / cycles` (see EXPERIMENTS.md).
     pub fn throughput_mbps(&self, n: usize, clock_mhz: f64) -> f64 {
-        if self.cycles == 0 {
-            0.0
-        } else {
-            6.0 * n as f64 * clock_mhz / self.cycles as f64
-        }
+        throughput_mbps(n, self.cycles, clock_mhz)
+    }
+}
+
+/// The paper's throughput metric from a bare cycle count (6 bits per
+/// sample; see [`Stats::throughput_mbps`]). Used by harnesses that
+/// only hold the cycle observable of an
+/// `FftEngine`.
+pub fn throughput_mbps(n: usize, cycles: u64, clock_mhz: f64) -> f64 {
+    if cycles == 0 {
+        0.0
+    } else {
+        6.0 * n as f64 * clock_mhz / cycles as f64
     }
 }
 

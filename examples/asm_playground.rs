@@ -11,6 +11,8 @@
 //! cargo run --release --example asm_playground
 //! ```
 
+use afft::core::engine::EngineRegistry;
+use afft::core::Direction;
 use afft::isa::parser::assemble_text;
 use afft::num::{Complex, Q15};
 use afft::sim::{stage_input, Machine, MachineConfig};
@@ -63,16 +65,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("ran in {} cycles ({} instructions)", stats.cycles, stats.instrs);
     println!();
+
+    // The reference spectrum comes from the engine registry: the naive
+    // DFT backend over the same 8 staged points.
+    let registry = EngineRegistry::standard(8)?;
+    let golden = registry.get("dft_naive").expect("reference backend");
+    let exact_in: Vec<Complex<f64>> = x.iter().map(|q| q.to_c64()).collect();
+    let want = golden.execute(&exact_in, Direction::Forward)?;
+
     println!("spectrum (hardware scales by 1/8):");
     let out = m.mem().read_complex_slice(256, 8)?;
     for (k, bin) in out.iter().enumerate() {
         let c = bin.to_c64() * 8.0;
-        let expect = afft::num::twiddle(8, k) * 0.5;
         println!(
-            "  X[{k}] = {:+.4} {:+.4}i   (exact {:+.4} {:+.4}i)",
-            c.re, c.im, expect.re, expect.im
+            "  X[{k}] = {:+.4} {:+.4}i   ({} says {:+.4} {:+.4}i)",
+            c.re,
+            c.im,
+            golden.name(),
+            want[k].re,
+            want[k].im
         );
-        assert!(c.dist(expect) < 0.01, "bin {k} deviates");
+        assert!(c.dist(want[k]) < 0.01, "bin {k} deviates");
     }
     Ok(())
 }

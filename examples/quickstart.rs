@@ -1,13 +1,15 @@
-//! Quickstart: plan an array FFT, transform a signal on the golden
-//! model, then run the *same* transform cycle-accurately on the ASIP
-//! simulator and compare results and cost.
+//! Quickstart: plan the backend registry once, then run the *same*
+//! transform on every engine — golden models, prior-art structures and
+//! the cycle-accurate ASIP simulator — through one polymorphic
+//! interface, comparing results and cost.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use afft::asip::runner::{quantize_input, run_array_fft, AsipConfig};
-use afft::core::{ArrayFft, Direction, Scaling};
+use afft::asip::engine::registry_with_asip;
+use afft::core::reference::max_error;
+use afft::core::Direction;
 use afft::num::Complex;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -23,49 +25,52 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         })
         .collect();
 
-    // 1. Software golden model (f64, exact amplitudes).
-    let fft: ArrayFft<f64> = ArrayFft::new(n)?;
-    let spectrum = fft.process(&signal, Direction::Forward)?;
-    println!("golden model: |X[k]| peaks");
-    for (k, bin) in spectrum.iter().enumerate().take(n / 2) {
+    // One registry, every backend: software models plus the simulated
+    // hardware, all behind `FftEngine::execute`.
+    let registry = registry_with_asip(n)?;
+    println!("registry at N = {n}: {:?}", registry.names());
+    println!();
+
+    // The golden reference the others are judged against.
+    let golden = registry.get("dft_naive").expect("golden").execute(&signal, Direction::Forward)?;
+    let peak = golden.iter().map(|c| c.abs()).fold(0.0f64, f64::max);
+
+    println!("tone bins from the golden model (|X[k]|/N > 0.05):");
+    for (k, bin) in golden.iter().enumerate().take(n / 2) {
         let mag = bin.abs() / n as f64;
         if mag > 0.05 {
             println!("  bin {k:>3}: {mag:.3}");
         }
     }
-
-    // 2. The same transform on the cycle-accurate ASIP.
-    let input = quantize_input(&signal, 1.0);
-    let run = run_array_fft(&input, Direction::Forward, &AsipConfig::default())?;
     println!();
-    println!(
-        "ASIP simulation: {} cycles, {} BUT4, {} LDIN, {} STOUT, {} D-cache misses",
-        run.stats.cycles,
-        run.stats.but4,
-        run.stats.ldin,
-        run.stats.stout,
-        run.stats.cache_misses()
-    );
-    println!(
-        "throughput at 300 MHz: {:.1} Mbps ({:.2} us per transform)",
-        run.stats.throughput_mbps(n, 300.0),
-        run.stats.cycles as f64 / 300.0
-    );
 
-    // 3. The fixed-point hardware tracks the golden model (output is
-    // scaled by 1/N by the per-stage halving).
-    let mut worst = 0.0f64;
-    for (hw, exact) in run.output.iter().zip(&spectrum) {
-        let err = hw.to_c64().dist(*exact * (1.0 / n as f64));
-        worst = worst.max(err);
+    println!(
+        "{:<12} {:>12} {:>14} {:>10} {:>10}",
+        "engine", "rel error", "traffic (pts)", "cycles", "ok"
+    );
+    for engine in registry.engines() {
+        // The golden reference already ran; don't pay its O(N^2) twice.
+        let spectrum = if engine.name() == "dft_naive" {
+            golden.clone()
+        } else {
+            engine.execute(&signal, Direction::Forward)?
+        };
+        let err = max_error(&spectrum, &golden) / peak;
+        let traffic = engine.traffic().map_or("-".to_string(), |t| t.total().to_string());
+        let cycles = engine.cycles().map_or("-".to_string(), |c| c.to_string());
+        let ok = err < engine.tolerance();
+        println!("{:<12} {err:>12.2e} {traffic:>14} {cycles:>10} {ok:>10}", engine.name());
+        assert!(ok, "{} deviated beyond its tolerance", engine.name());
     }
-    println!("max |hardware - golden/N| = {worst:.2e} (16-bit datapath)");
+    println!();
 
-    // 4. The fixed-point ASIP output equals the Q15 golden model
-    // *bit-exactly*.
-    let golden_q15 = ArrayFft::<afft::num::Q15>::with_scaling(n, Scaling::HalfPerStage)?
-        .process(&input, Direction::Forward)?;
-    assert_eq!(run.output, golden_q15, "ISS must match the Q15 golden model bit-exactly");
-    println!("ISS output == Q15 golden model: bit-exact");
+    // The cycle-accurate backend also reports the paper's throughput.
+    let asip = registry.get("asip_iss").expect("asip backend");
+    let cycles = asip.cycles().expect("ran above");
+    println!(
+        "ASIP: {cycles} cycles -> {:.1} Mbps at 300 MHz ({:.2} us per transform)",
+        afft::sim::throughput_mbps(n, cycles, 300.0),
+        cycles as f64 / 300.0
+    );
     Ok(())
 }

@@ -1,13 +1,17 @@
 //! A real-input spectrum analyser on the array FFT: windowing, the
 //! packed real FFT, and a text spectrogram — the classic "second
-//! application" for an FFT engine beyond OFDM.
+//! application" for an FFT engine beyond OFDM. The packed real path is
+//! cross-checked bin-for-bin against the complex backends in the
+//! engine registry.
 //!
 //! ```text
 //! cargo run --release --example spectrum_analyzer
 //! ```
 
+use afft::core::engine::EngineRegistry;
 use afft::core::realfft::RealFft;
 use afft::core::window::Window;
+use afft::core::Direction;
 use afft::num::Complex;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -33,8 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
 
     // Window (as complex for the apply helper), repack to real.
-    let mut windowed: Vec<Complex<f64>> =
-        signal.iter().map(|&v| Complex::new(v, 0.0)).collect();
+    let mut windowed: Vec<Complex<f64>> = signal.iter().map(|&v| Complex::new(v, 0.0)).collect();
     window.apply(&mut windowed);
     let real_windowed: Vec<f64> = windowed.iter().map(|c| c.re).collect();
 
@@ -76,5 +79,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Sanity: the 3 kHz tone must dominate at its bin (3000/93.75 = 32).
     let k3 = (3000.0 * len as f64 / fs).round() as usize;
     assert!(db(bins[k3].abs()) > -1.0, "3 kHz tone not at 0 dB");
+
+    // Cross-check the packed real path against every complex backend
+    // in the registry: the half-spectrum must match bin for bin.
+    println!();
+    let registry = EngineRegistry::standard(len)?;
+    for engine in registry.engines() {
+        let full = engine.execute(&windowed, Direction::Forward)?;
+        let worst = bins.iter().enumerate().map(|(k, b)| b.dist(full[k])).fold(0.0f64, f64::max);
+        println!("real FFT vs {:<12} max bin deviation {worst:.2e}", engine.name());
+        assert!(worst < 1e-6 * len as f64, "{} disagrees with the real FFT", engine.name());
+    }
     Ok(())
 }

@@ -41,8 +41,8 @@ fn golden_model_matches_radix2_library() {
 fn iss_is_bit_exact_against_golden_for_every_paper_size() {
     for n in [64usize, 128, 256, 512, 1024] {
         let input = quantize_input(&random_signal(n, 100 + n as u64), 0.9);
-        let run = run_array_fft(&input, Direction::Forward, &AsipConfig::default())
-            .expect("ASIP run");
+        let run =
+            run_array_fft(&input, Direction::Forward, &AsipConfig::default()).expect("ASIP run");
         let golden = golden_array_fft(&input, Direction::Forward).expect("golden");
         assert_eq!(run.output, golden, "n={n}: ISS deviates from golden model");
     }
@@ -52,8 +52,8 @@ fn iss_is_bit_exact_against_golden_for_every_paper_size() {
 fn iss_is_bit_exact_for_extension_sizes() {
     for n in [2048usize, 4096] {
         let input = quantize_input(&random_signal(n, 200 + n as u64), 0.9);
-        let run = run_array_fft(&input, Direction::Forward, &AsipConfig::default())
-            .expect("ASIP run");
+        let run =
+            run_array_fft(&input, Direction::Forward, &AsipConfig::default()).expect("ASIP run");
         let golden = golden_array_fft(&input, Direction::Forward).expect("golden");
         assert_eq!(run.output, golden, "n={n}");
     }
@@ -63,8 +63,7 @@ fn iss_is_bit_exact_for_extension_sizes() {
 fn iss_is_bit_exact_for_inverse_direction() {
     let n = 128;
     let input = quantize_input(&random_signal(n, 5), 0.9);
-    let run =
-        run_array_fft(&input, Direction::Inverse, &AsipConfig::default()).expect("ASIP run");
+    let run = run_array_fft(&input, Direction::Inverse, &AsipConfig::default()).expect("ASIP run");
     let golden = golden_array_fft(&input, Direction::Inverse).expect("golden");
     assert_eq!(run.output, golden);
 }
@@ -95,8 +94,8 @@ fn pure_tones_hit_their_bins_on_the_simulated_hardware() {
     for tone in [1usize, 5, 31, 33, 63] {
         let x: Vec<C64> = (0..n).map(|m| twiddle(n, (tone * m) % n).conj() * 0.8).collect();
         let input = quantize_input(&x, 1.0);
-        let run = run_array_fft(&input, Direction::Forward, &AsipConfig::default())
-            .expect("ASIP run");
+        let run =
+            run_array_fft(&input, Direction::Forward, &AsipConfig::default()).expect("ASIP run");
         // Hardware output is DFT/N: the tone bin should be ~0.8.
         for (k, bin) in run.output.iter().enumerate() {
             let mag = bin.to_c64().abs();
@@ -115,8 +114,7 @@ fn forward_inverse_roundtrip_through_the_hardware() {
     let x = random_signal(n, 77);
     let input = quantize_input(&x, 0.9);
     let fwd = run_array_fft(&input, Direction::Forward, &AsipConfig::default()).expect("fwd");
-    let inv =
-        run_array_fft(&fwd.output, Direction::Inverse, &AsipConfig::default()).expect("inv");
+    let inv = run_array_fft(&fwd.output, Direction::Inverse, &AsipConfig::default()).expect("inv");
     // forward scales 1/N, inverse scales 1/N, IDFT brings factor N:
     // recovered = input / N.
     let got: Vec<C64> = inv.output.iter().map(|c| c.to_c64() * n as f64).collect();

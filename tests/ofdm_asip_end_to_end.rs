@@ -42,11 +42,8 @@ fn multipath_ofdm_link_through_the_simulated_hardware() {
     let tx_pilot = ofdm.modulate(&pilot).expect("modulate pilot");
     let rx_pilot_time = apply_fir_channel(&tx_pilot, &taps);
     let rx_pilot = asip_fft(&mut pipeline, &rx_pilot_time[CP..]);
-    let channel: Vec<C64> = rx_pilot
-        .iter()
-        .zip(&pilot)
-        .map(|(&y, &x)| y * x.conj() * (1.0 / x.norm_sqr()))
-        .collect();
+    let channel: Vec<C64> =
+        rx_pilot.iter().zip(&pilot).map(|(&y, &x)| y * x.conj() * (1.0 / x.norm_sqr())).collect();
 
     // Data symbols.
     let mut total_bits = 0usize;
