@@ -17,17 +17,13 @@ pub fn random_signal_q15(n: usize, seed: u64) -> Vec<Complex<Q15>> {
 }
 
 /// A QPSK-modulated OFDM symbol in the frequency domain (the UWB
-/// receiver workload the paper's introduction motivates): one constant-
-/// magnitude constellation point per subcarrier.
+/// receiver workload the paper's introduction motivates): random bits
+/// through the one constellation mapper the workspace has,
+/// [`afft_core::ofdm::qpsk_map`].
 pub fn qpsk_symbol(n: usize, seed: u64) -> Vec<C64> {
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..n)
-        .map(|_| {
-            let re = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
-            let im = if rng.gen_bool(0.5) { 1.0 } else { -1.0 };
-            Complex::new(re * std::f64::consts::FRAC_1_SQRT_2, im * std::f64::consts::FRAC_1_SQRT_2)
-        })
-        .collect()
+    let bits: Vec<(bool, bool)> = (0..n).map(|_| (rng.gen_bool(0.5), rng.gen_bool(0.5))).collect();
+    afft_core::ofdm::qpsk_map(&bits)
 }
 
 #[cfg(test)]

@@ -40,6 +40,7 @@ use crate::cached::{cached_fft, plain_fft_traffic, MemTraffic};
 use crate::error::FftError;
 use crate::mcfft::{mcfft, Epochs};
 use crate::plan::Split;
+use crate::realfft::RealFft;
 use crate::reference::{
     bit_reverse_permute, dft_naive, fft_radix2_dif_f64, fft_radix2_dit_f64, Direction,
 };
@@ -334,6 +335,79 @@ impl FftEngine for McfftEngine {
     }
 }
 
+/// The packed real-input FFT as a full-contract engine.
+///
+/// [`RealFft`] transforms a length-`2N` *real* signal with one
+/// `N`-point complex FFT. To satisfy the registry contract (an
+/// unnormalised DFT of arbitrary *complex* input) this wrapper runs
+/// that path twice — `DFT(x) = DFT(re x) + i DFT(im x)`, each half
+/// expanded by conjugate symmetry — so the planner can rank the
+/// packed-real datapath against the complex backends on the same
+/// calibration signals.
+#[derive(Debug, Clone)]
+pub struct RealFftEngine {
+    rfft: RealFft,
+}
+
+impl RealFftEngine {
+    /// Plans a real-FFT-backed engine of size `n` (`n/2` must be a
+    /// supported array-FFT size, i.e. a power of two `>= 64`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::InvalidSize`] otherwise.
+    pub fn new(n: usize) -> Result<Self, FftError> {
+        Ok(RealFftEngine { rfft: RealFft::new(n)? })
+    }
+
+    fn full_real_dft(&self, v: &[f64]) -> Result<Vec<C64>, FftError> {
+        let bins = self.rfft.process(v)?;
+        Ok(self.rfft.expand_full(&bins))
+    }
+}
+
+impl FftEngine for RealFftEngine {
+    fn name(&self) -> &str {
+        "real_fft"
+    }
+
+    fn len(&self) -> usize {
+        self.rfft.len()
+    }
+
+    fn execute(&self, input: &[C64], dir: Direction) -> Result<Vec<C64>, FftError> {
+        check_len(self, input)?;
+        match dir {
+            Direction::Forward => {
+                let re: Vec<f64> = input.iter().map(|c| c.re).collect();
+                let im: Vec<f64> = input.iter().map(|c| c.im).collect();
+                let fr = self.full_real_dft(&re)?;
+                let fi = self.full_real_dft(&im)?;
+                Ok(fr.iter().zip(&fi).map(|(&r, &i)| r + i.mul_i()).collect())
+            }
+            // Unnormalised inverse: conjugate in, forward, conjugate out.
+            Direction::Inverse => {
+                let conj: Vec<C64> = input.iter().map(|c| c.conj()).collect();
+                let fwd = self.execute(&conj, Direction::Forward)?;
+                Ok(fwd.iter().map(|c| c.conj()).collect())
+            }
+        }
+    }
+
+    fn traffic(&self) -> Option<MemTraffic> {
+        // Two packed half-size array transforms (2 * (N/2) points each
+        // way apiece) — the O(N) unscrambling stays register-resident.
+        let n = self.len();
+        Some(MemTraffic { loads: 2 * n, stores: 2 * n })
+    }
+
+    fn tolerance(&self) -> f64 {
+        // The conjugate-symmetric post-butterfly adds a twiddle
+        // multiply per bin on top of the inner FFT's roundoff.
+        1e-7
+    }
+}
+
 fn check_pow2_size(n: usize) -> Result<(), FftError> {
     if !n.is_power_of_two() {
         return Err(FftError::InvalidSize { n, reason: "not a power of two" });
@@ -359,7 +433,8 @@ impl EngineRegistry {
     /// Every software backend of this crate that supports size `n`:
     /// always the naive DFT, both radix-2 FFTs and the MCFFT; from
     /// `n >= 64` (the smallest array-structured size) also the array
-    /// FFT and Baas's cached FFT.
+    /// FFT and Baas's cached FFT; from `n >= 128` additionally the
+    /// packed real-input FFT (whose inner complex transform is `n/2`).
     ///
     /// # Errors
     ///
@@ -375,6 +450,9 @@ impl EngineRegistry {
         if Split::for_size(n).is_ok() {
             registry.register(Box::new(ArrayFft::<f64>::new(n)?));
             registry.register(Box::new(CachedFftEngine::new(n)?));
+        }
+        if Split::for_size(n / 2).is_ok() {
+            registry.register(Box::new(RealFftEngine::new(n)?));
         }
         Ok(registry)
     }
@@ -398,6 +476,14 @@ impl EngineRegistry {
     /// Looks an engine up by name.
     pub fn get(&self, name: &str) -> Option<&dyn FftEngine> {
         self.engines().find(|e| e.name() == name)
+    }
+
+    /// Removes an engine by name and returns it owned — how a planner
+    /// hands the winning backend to long-lived consumers (an OFDM
+    /// modem, a batch executor) without re-planning.
+    pub fn take(&mut self, name: &str) -> Option<Box<dyn FftEngine>> {
+        let idx = self.engines.iter().position(|e| e.name() == name)?;
+        Some(self.engines.remove(idx))
     }
 
     /// The registered engine names, in registration order.
@@ -441,11 +527,24 @@ mod tests {
             let r = EngineRegistry::standard(n).unwrap();
             assert_eq!(r.names(), ["dft_naive", "radix2_dit", "radix2_dif", "mcfft"], "n={n}");
         }
-        for n in [64usize, 256, 1024] {
+        let r = EngineRegistry::standard(64).unwrap();
+        assert_eq!(
+            r.names(),
+            ["dft_naive", "radix2_dit", "radix2_dif", "mcfft", "array_fft", "cached_fft"]
+        );
+        for n in [128usize, 256, 1024] {
             let r = EngineRegistry::standard(n).unwrap();
             assert_eq!(
                 r.names(),
-                ["dft_naive", "radix2_dit", "radix2_dif", "mcfft", "array_fft", "cached_fft"],
+                [
+                    "dft_naive",
+                    "radix2_dit",
+                    "radix2_dif",
+                    "mcfft",
+                    "array_fft",
+                    "cached_fft",
+                    "real_fft"
+                ],
                 "n={n}"
             );
         }
@@ -525,5 +624,34 @@ mod tests {
         assert!(r.get("dft_naive").is_some());
         assert!(r.get("missing").is_none());
         assert_eq!(format!("{r:?}"), "EngineRegistry { engines: [\"dft_naive\"] }");
+    }
+
+    #[test]
+    fn take_removes_and_returns_the_engine_owned() {
+        let mut r = EngineRegistry::standard(128).unwrap();
+        let before = r.len();
+        let engine = r.take("radix2_dit").expect("registered");
+        assert_eq!(engine.name(), "radix2_dit");
+        assert_eq!(engine.len(), 128);
+        assert_eq!(r.len(), before - 1);
+        assert!(r.get("radix2_dit").is_none());
+        assert!(r.take("radix2_dit").is_none());
+    }
+
+    #[test]
+    fn real_fft_engine_meets_the_complex_contract() {
+        let n = 256;
+        let engine = RealFftEngine::new(n).unwrap();
+        let x = random_signal(n, 9);
+        let want = dft_naive(&x, Direction::Forward).unwrap();
+        let peak = want.iter().map(|c| c.abs()).fold(0.0, f64::max);
+        let got = engine.execute(&x, Direction::Forward).unwrap();
+        assert!(max_error(&got, &want) / peak < engine.tolerance());
+        // Inverse via conjugation honours the unnormalised contract.
+        let back = engine.execute(&got, Direction::Inverse).unwrap();
+        let rt: Vec<C64> = back.iter().map(|&v| v * (1.0 / n as f64)).collect();
+        assert!(max_error(&rt, &x) < engine.tolerance() * n as f64);
+        // Below the inner array threshold the wrapper is rejected.
+        assert!(RealFftEngine::new(64).is_err());
     }
 }

@@ -8,6 +8,7 @@
 //! the transform in its real role.
 
 use crate::array::ArrayFft;
+use crate::engine::FftEngine;
 use crate::error::FftError;
 use crate::reference::Direction;
 use afft_num::{Complex, C64};
@@ -29,8 +30,13 @@ pub fn qpsk_demap(symbols: &[C64]) -> Vec<(bool, bool)> {
     symbols.iter().map(|s| (s.re >= 0.0, s.im >= 0.0)).collect()
 }
 
-/// An OFDM modulator/demodulator over an `N`-subcarrier array FFT with
-/// a cyclic prefix of `cp` samples.
+/// An OFDM modulator/demodulator over any `N`-subcarrier
+/// [`FftEngine`] with a cyclic prefix of `cp` samples.
+///
+/// [`Ofdm::new`] plans over the array-FFT golden model;
+/// [`Ofdm::with_engine`] accepts whichever backend a planner selected
+/// (see the `afft_planner` crate), so the modem runs on the winning
+/// engine without per-symbol dispatch.
 ///
 /// # Examples
 ///
@@ -45,32 +51,58 @@ pub fn qpsk_demap(symbols: &[C64]) -> Vec<(bool, bool)> {
 /// assert_eq!(qpsk_demap(&rx), bits);
 /// # Ok::<(), afft_core::FftError>(())
 /// ```
-#[derive(Debug, Clone)]
 pub struct Ofdm {
-    fft: ArrayFft<f64>,
+    engine: Box<dyn FftEngine>,
     cp: usize,
+}
+
+impl core::fmt::Debug for Ofdm {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Ofdm")
+            .field("engine", &self.engine.name())
+            .field("n", &self.engine.len())
+            .field("cp", &self.cp)
+            .finish()
+    }
 }
 
 impl Ofdm {
     /// Plans an OFDM engine with `n` subcarriers and `cp` cyclic-prefix
-    /// samples.
+    /// samples over the array-FFT golden model.
     ///
     /// # Errors
     ///
     /// Returns [`FftError`] for unsupported `n`, or an
     /// [`FftError::InvalidDecomposition`] if `cp >= n`.
     pub fn new(n: usize, cp: usize) -> Result<Self, FftError> {
+        Self::with_engine(Box::new(ArrayFft::<f64>::new(n)?), cp)
+    }
+
+    /// Plans over an already-selected backend — typically the winner a
+    /// planner took out of the registry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::InvalidDecomposition`] if
+    /// `cp >= engine.len()`.
+    pub fn with_engine(engine: Box<dyn FftEngine>, cp: usize) -> Result<Self, FftError> {
+        let n = engine.len();
         if cp >= n {
             return Err(FftError::InvalidDecomposition {
                 reason: format!("cyclic prefix {cp} must be shorter than the symbol {n}"),
             });
         }
-        Ok(Ofdm { fft: ArrayFft::new(n)?, cp })
+        Ok(Ofdm { engine, cp })
+    }
+
+    /// The FFT backend the modem runs on.
+    pub fn engine(&self) -> &dyn FftEngine {
+        self.engine.as_ref()
     }
 
     /// Number of subcarriers.
     pub fn subcarriers(&self) -> usize {
-        self.fft.len()
+        self.engine.len()
     }
 
     /// Cyclic-prefix length in samples.
@@ -80,7 +112,7 @@ impl Ofdm {
 
     /// Samples per transmitted symbol (`N + CP`).
     pub fn symbol_len(&self) -> usize {
-        self.fft.len() + self.cp
+        self.engine.len() + self.cp
     }
 
     /// Modulates one symbol: IFFT of the subcarrier values (normalised
@@ -90,10 +122,10 @@ impl Ofdm {
     ///
     /// Returns [`FftError::LengthMismatch`] if `subcarriers.len() != N`.
     pub fn modulate(&self, subcarriers: &[C64]) -> Result<Vec<C64>, FftError> {
-        let n = self.fft.len();
+        let n = self.engine.len();
         let time: Vec<C64> = self
-            .fft
-            .process(subcarriers, Direction::Inverse)?
+            .engine
+            .execute(subcarriers, Direction::Inverse)?
             .iter()
             .map(|&v| v * (1.0 / n as f64))
             .collect();
@@ -111,11 +143,11 @@ impl Ofdm {
     /// Returns [`FftError::LengthMismatch`] if the input is not
     /// `N + CP` samples.
     pub fn demodulate(&self, samples: &[C64]) -> Result<Vec<C64>, FftError> {
-        let n = self.fft.len();
+        let n = self.engine.len();
         if samples.len() != n + self.cp {
             return Err(FftError::LengthMismatch { expected: n + self.cp, got: samples.len() });
         }
-        self.fft.process(&samples[self.cp..], Direction::Forward)
+        self.engine.execute(&samples[self.cp..], Direction::Forward)
     }
 
     /// Single-tap zero-forcing equalisation: divides each subcarrier by
@@ -236,5 +268,20 @@ mod tests {
     fn qpsk_map_demap_roundtrip() {
         let bits = random_bits(64, 6);
         assert_eq!(qpsk_demap(&qpsk_map(&bits)), bits);
+    }
+
+    #[test]
+    fn planned_engine_backend_demodulates_like_the_default() {
+        let mut registry = crate::engine::EngineRegistry::standard(128).unwrap();
+        let ofdm = Ofdm::with_engine(registry.take("radix2_dit").unwrap(), 32).unwrap();
+        assert_eq!(ofdm.engine().name(), "radix2_dit");
+        assert_eq!(format!("{ofdm:?}"), "Ofdm { engine: \"radix2_dit\", n: 128, cp: 32 }");
+        let bits = random_bits(128, 9);
+        let tx = ofdm.modulate(&qpsk_map(&bits)).unwrap();
+        let rx = ofdm.demodulate(&tx).unwrap();
+        assert_eq!(qpsk_demap(&rx), bits);
+        // CP validation holds for injected engines too.
+        let mut registry = crate::engine::EngineRegistry::standard(128).unwrap();
+        assert!(Ofdm::with_engine(registry.take("mcfft").unwrap(), 128).is_err());
     }
 }

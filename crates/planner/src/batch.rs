@@ -1,0 +1,181 @@
+//! Batched execution: plan once, run whole batches of OFDM symbols
+//! through the planned engine — sequentially, or sharded across a
+//! [`std::thread::scope`] worker pool for throughput workloads.
+//!
+//! Workers never share an engine instance: each one constructs its own
+//! copy of the planned backend from the registry factory, so interior
+//! state (e.g. the ISS adapter's statistics cell) stays thread-local
+//! and the threaded path is bit-identical to the sequential one.
+
+use afft_core::engine::FftEngine;
+use afft_core::{Direction, FftError};
+use afft_num::C64;
+
+use crate::planner::{Plan, RegistryFactory};
+
+/// Executes batches of equal-length symbols on a planned engine.
+pub struct BatchExecutor {
+    factory: RegistryFactory,
+    engine: Box<dyn FftEngine>,
+    name: String,
+}
+
+impl core::fmt::Debug for BatchExecutor {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("BatchExecutor")
+            .field("engine", &self.name)
+            .field("n", &self.engine.len())
+            .finish()
+    }
+}
+
+impl BatchExecutor {
+    /// Builds an executor over the plan's winning engine.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::Backend`] if the planned engine is not in
+    /// the factory's registry (wisdom from a different backend set).
+    pub fn from_plan(plan: &Plan, factory: RegistryFactory) -> Result<Self, FftError> {
+        Self::with_engine_name(plan.n, &plan.best().name, factory)
+    }
+
+    /// Builds an executor over an explicitly named engine.
+    ///
+    /// # Errors
+    ///
+    /// As [`BatchExecutor::from_plan`].
+    pub fn with_engine_name(
+        n: usize,
+        name: &str,
+        factory: RegistryFactory,
+    ) -> Result<Self, FftError> {
+        let engine = crate::planner::take_engine(factory, n, name)?;
+        Ok(BatchExecutor { factory, engine, name: name.to_string() })
+    }
+
+    /// The engine the batch runs on.
+    pub fn engine(&self) -> &dyn FftEngine {
+        self.engine.as_ref()
+    }
+
+    /// Transform size every symbol must have.
+    pub fn len(&self) -> usize {
+        self.engine.len()
+    }
+
+    /// Never empty for a planned executor.
+    pub fn is_empty(&self) -> bool {
+        self.engine.len() == 0
+    }
+
+    /// Transforms every symbol in order on the calling thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`FftError`] any symbol produces.
+    pub fn execute(&self, symbols: &[Vec<C64>], dir: Direction) -> Result<Vec<Vec<C64>>, FftError> {
+        symbols.iter().map(|s| self.engine.execute(s, dir)).collect()
+    }
+
+    /// Transforms the batch on `workers` scoped threads, symbols
+    /// sharded contiguously. Results are returned in input order and
+    /// are bit-identical to [`BatchExecutor::execute`]; `workers <= 1`
+    /// (or a batch of one shard) falls back to the sequential path.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`FftError`] any worker produces.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if a worker thread itself panicked.
+    pub fn execute_threaded(
+        &self,
+        symbols: &[Vec<C64>],
+        dir: Direction,
+        workers: usize,
+    ) -> Result<Vec<Vec<C64>>, FftError> {
+        let workers = workers.min(symbols.len());
+        if workers <= 1 {
+            return self.execute(symbols, dir);
+        }
+        let chunk = symbols.len().div_ceil(workers);
+        let n = self.engine.len();
+        let factory = self.factory;
+        let name = self.name.as_str();
+
+        let mut out: Vec<Vec<C64>> = vec![Vec::new(); symbols.len()];
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for (shard_in, shard_out) in symbols.chunks(chunk).zip(out.chunks_mut(chunk)) {
+                handles.push(scope.spawn(move || -> Result<(), FftError> {
+                    // A private engine per worker: no shared interior
+                    // state, deterministic per-symbol arithmetic.
+                    let engine = crate::planner::take_engine(factory, n, name)?;
+                    for (symbol, slot) in shard_in.iter().zip(shard_out.iter_mut()) {
+                        *slot = engine.execute(symbol, dir)?;
+                    }
+                    Ok(())
+                }));
+            }
+            handles.into_iter().try_for_each(|h| h.join().expect("batch worker panicked"))
+        })?;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afft_core::engine::EngineRegistry;
+
+    fn batch(n: usize, symbols: usize) -> Vec<Vec<C64>> {
+        (0..symbols)
+            .map(|s| {
+                let mut v = crate::planner::calibration_signal(n);
+                // Vary the batch across symbols deterministically.
+                v[s % n] = v[s % n] * (1.0 + s as f64);
+                v
+            })
+            .collect()
+    }
+
+    #[test]
+    fn threaded_matches_sequential_bit_for_bit() {
+        let exec = BatchExecutor::with_engine_name(128, "radix2_dit", EngineRegistry::standard)
+            .expect("executor");
+        let symbols = batch(128, 17);
+        let seq = exec.execute(&symbols, Direction::Forward).unwrap();
+        for workers in [2usize, 3, 8, 64] {
+            let par = exec.execute_threaded(&symbols, Direction::Forward, workers).unwrap();
+            assert_eq!(seq, par, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn worker_counts_beyond_the_batch_are_clamped() {
+        let exec = BatchExecutor::with_engine_name(64, "mcfft", EngineRegistry::standard).unwrap();
+        let symbols = batch(64, 2);
+        let out = exec.execute_threaded(&symbols, Direction::Inverse, 16).unwrap();
+        assert_eq!(out, exec.execute(&symbols, Direction::Inverse).unwrap());
+        assert!(exec.execute_threaded(&[], Direction::Forward, 4).unwrap().is_empty());
+    }
+
+    #[test]
+    fn length_errors_surface_from_workers() {
+        let exec =
+            BatchExecutor::with_engine_name(64, "radix2_dif", EngineRegistry::standard).unwrap();
+        let mut symbols = batch(64, 8);
+        symbols[5] = vec![C64::new(0.0, 0.0); 32];
+        let err = exec.execute_threaded(&symbols, Direction::Forward, 4).unwrap_err();
+        assert!(matches!(err, FftError::LengthMismatch { expected: 64, got: 32 }));
+    }
+
+    #[test]
+    fn unknown_engine_is_a_backend_error() {
+        let err =
+            BatchExecutor::with_engine_name(64, "asip_iss", EngineRegistry::standard).unwrap_err();
+        assert!(matches!(err, FftError::Backend { .. }));
+    }
+}

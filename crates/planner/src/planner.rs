@@ -1,0 +1,435 @@
+//! The planner: rank every engine the registry offers for one
+//! transform shape, by heuristic model ([`Strategy::Estimate`]) or by
+//! timing a calibration run ([`Strategy::Measure`]), and remember the
+//! result as [`Wisdom`].
+
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
+
+use afft_core::engine::{EngineRegistry, FftEngine};
+use afft_core::{Direction, FftError};
+use afft_num::{Complex, C64};
+
+use crate::batch::BatchExecutor;
+use crate::wisdom::{backend_set_hash, Wisdom, WisdomEntry, WisdomKey};
+
+/// How a registry for size `n` is built — the planner's only coupling
+/// to the backend set. [`EngineRegistry::standard`] covers the software
+/// models; pass `afft_asip::engine::registry_with_asip` to let the
+/// cycle-accurate ISS compete.
+pub type RegistryFactory = fn(usize) -> Result<EngineRegistry, FftError>;
+
+/// The simulated ASIP's clock, used to convert modeled cycles into the
+/// nanosecond scale the rankings share.
+pub const ASIP_CLOCK_GHZ: f64 = 0.3;
+
+/// How a [`Planner`] ranks the registry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Strategy {
+    /// Rank by built-in cost heuristics (per-engine operation models,
+    /// [`FftEngine::traffic`] metadata, size thresholds). Free, but
+    /// blind to the host.
+    Estimate,
+    /// Execute every engine on a calibration signal and rank by what
+    /// it actually cost: wall time for host backends, modeled cycles
+    /// for cycle-accurate ones.
+    Measure,
+}
+
+impl Strategy {
+    /// Stable lowercase identifier (wisdom format, CLI flags).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Strategy::Estimate => "estimate",
+            Strategy::Measure => "measure",
+        }
+    }
+
+    /// Inverse of [`Strategy::as_str`].
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "estimate" => Some(Strategy::Estimate),
+            "measure" => Some(Strategy::Measure),
+            _ => None,
+        }
+    }
+}
+
+/// One engine's entry in a ranked plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineRank {
+    /// Engine name ([`FftEngine::name`]).
+    pub name: String,
+    /// The ranking score in nanoseconds: estimated or measured time
+    /// for one transform (modeled hardware time on cycle-accurate
+    /// backends).
+    pub score_ns: f64,
+    /// Best measured wall time of one execute, where the plan was
+    /// measured (`None` for estimates and wisdom replays).
+    pub wall_ns: Option<f64>,
+    /// Modeled cycle count, on cycle-accurate backends.
+    pub modeled_cycles: Option<u64>,
+    /// Modelled memory traffic in points, where the backend reports it.
+    pub traffic_points: Option<usize>,
+}
+
+/// A ranked plan for one `(n, direction)` transform shape.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Plan {
+    /// Transform size.
+    pub n: usize,
+    /// Transform direction the plan was ranked for.
+    pub direction: Direction,
+    /// The strategy that produced the ranking.
+    pub strategy: Strategy,
+    /// [`backend_set_hash`] of the registry the ranking covers.
+    pub backends: u64,
+    /// Whether the ranking was replayed from wisdom (no new work).
+    pub from_wisdom: bool,
+    /// Every registry engine, best (lowest score) first.
+    pub ranking: Vec<EngineRank>,
+}
+
+impl Plan {
+    /// The winning engine.
+    pub fn best(&self) -> &EngineRank {
+        &self.ranking[0]
+    }
+}
+
+/// The autotuning planner. See the [crate docs](crate) for a worked
+/// example.
+#[derive(Debug, Clone)]
+pub struct Planner {
+    factory: RegistryFactory,
+    wisdom: Wisdom,
+    reps: usize,
+    // The factory's backend-set hash per size: a wisdom replay must
+    // not pay for building every engine just to key the lookup.
+    hash_cache: std::collections::BTreeMap<usize, u64>,
+}
+
+impl Default for Planner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Planner {
+    /// A planner over [`EngineRegistry::standard`] with empty wisdom.
+    pub fn new() -> Self {
+        Self::with_factory(EngineRegistry::standard)
+    }
+
+    /// A planner over a caller-chosen registry factory (e.g.
+    /// `registry_with_asip`, so the ISS participates in rankings).
+    pub fn with_factory(factory: RegistryFactory) -> Self {
+        Planner {
+            factory,
+            wisdom: Wisdom::new(),
+            reps: 3,
+            hash_cache: std::collections::BTreeMap::new(),
+        }
+    }
+
+    /// Seeds the planner with previously stored wisdom.
+    #[must_use]
+    pub fn with_wisdom(mut self, wisdom: Wisdom) -> Self {
+        self.wisdom = wisdom;
+        self
+    }
+
+    /// Sets how many calibration repetitions [`Strategy::Measure`]
+    /// runs per engine (best-of-`reps`; clamped to at least 1).
+    #[must_use]
+    pub fn with_measure_reps(mut self, reps: usize) -> Self {
+        self.reps = reps.max(1);
+        self
+    }
+
+    /// The accumulated wisdom (every plan this planner produced or was
+    /// seeded with) — store it to pay the tuning cost once per machine.
+    pub fn wisdom(&self) -> &Wisdom {
+        &self.wisdom
+    }
+
+    /// Mutable access to the wisdom, e.g. to [`Wisdom::merge`] a file
+    /// loaded mid-flight.
+    pub fn wisdom_mut(&mut self) -> &mut Wisdom {
+        &mut self.wisdom
+    }
+
+    /// Plans the forward transform of size `n` — see
+    /// [`Planner::plan_directed`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError`] for unsupported sizes or backend failures
+    /// during calibration.
+    pub fn plan(&mut self, n: usize, strategy: Strategy) -> Result<Plan, FftError> {
+        self.plan_directed(n, Direction::Forward, strategy)
+    }
+
+    /// Plans a transform: wisdom hit if available, otherwise rank the
+    /// registry by `strategy` and record the result as new wisdom.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError`] for unsupported sizes or backend failures
+    /// during calibration.
+    pub fn plan_directed(
+        &mut self,
+        n: usize,
+        direction: Direction,
+        strategy: Strategy,
+    ) -> Result<Plan, FftError> {
+        let mut registry = None;
+        let backends = match self.hash_cache.get(&n) {
+            Some(&hash) => hash,
+            None => {
+                let r = (self.factory)(n)?;
+                let hash = backend_set_hash(&r.names());
+                self.hash_cache.insert(n, hash);
+                registry = Some(r);
+                hash
+            }
+        };
+        let key = WisdomKey::new(n, direction, strategy, backends);
+        if let Some(entry) = self.wisdom.get(&key) {
+            let ranking = entry
+                .ranking
+                .iter()
+                .map(|(name, score)| EngineRank {
+                    name: name.clone(),
+                    score_ns: *score,
+                    wall_ns: None,
+                    modeled_cycles: None,
+                    traffic_points: None,
+                })
+                .collect();
+            return Ok(Plan { n, direction, strategy, backends, from_wisdom: true, ranking });
+        }
+
+        let registry = match registry {
+            Some(r) => r,
+            None => (self.factory)(n)?,
+        };
+        let mut ranking = match strategy {
+            Strategy::Estimate => {
+                registry.engines().map(estimate_rank).collect::<Vec<EngineRank>>()
+            }
+            Strategy::Measure => {
+                let signal = calibration_signal(n);
+                registry
+                    .engines()
+                    .map(|e| measure_rank(e, &signal, direction, self.reps))
+                    .collect::<Result<Vec<EngineRank>, FftError>>()?
+            }
+        };
+        ranking.sort_by(|a, b| {
+            a.score_ns.partial_cmp(&b.score_ns).unwrap_or(core::cmp::Ordering::Equal)
+        });
+
+        let entry = WisdomEntry {
+            stamp: unix_stamp(),
+            ranking: ranking.iter().map(|r| (r.name.clone(), r.score_ns)).collect(),
+        };
+        self.wisdom.insert(key, entry);
+        Ok(Plan { n, direction, strategy, backends, from_wisdom: false, ranking })
+    }
+
+    /// Instantiates the plan's winning engine, owned, from a fresh
+    /// registry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::Backend`] if the planned engine is no
+    /// longer registered (wisdom from a different backend set).
+    pub fn engine(&self, plan: &Plan) -> Result<Box<dyn FftEngine>, FftError> {
+        take_engine(self.factory, plan.n, &plan.best().name)
+    }
+
+    /// Builds a [`BatchExecutor`] over the plan's winning engine.
+    ///
+    /// # Errors
+    ///
+    /// As [`Planner::engine`].
+    pub fn executor(&self, plan: &Plan) -> Result<BatchExecutor, FftError> {
+        BatchExecutor::from_plan(plan, self.factory)
+    }
+}
+
+fn unix_stamp() -> u64 {
+    SystemTime::now().duration_since(UNIX_EPOCH).map_or(0, |d| d.as_secs())
+}
+
+/// Builds the factory's registry for size `n` and takes `name` out of
+/// it, owned — the one resolution path shared by [`Planner::engine`]
+/// and the batch executor (including its per-worker engines).
+pub(crate) fn take_engine(
+    factory: RegistryFactory,
+    n: usize,
+    name: &str,
+) -> Result<Box<dyn FftEngine>, FftError> {
+    factory(n)?.take(name).ok_or_else(|| FftError::Backend {
+        engine: name.to_string(),
+        reason: "planned engine is not in the registry".into(),
+    })
+}
+
+/// A deterministic QPSK-like calibration signal (xorshift-driven, no
+/// RNG dependency): constant magnitude per point, sign-random phases.
+pub fn calibration_signal(n: usize) -> Vec<C64> {
+    let mut state: u64 = 0x243f_6a88_85a3_08d3 ^ n as u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..n)
+        .map(|_| {
+            let bits = next();
+            let re = if bits & 1 == 0 { 1.0 } else { -1.0 };
+            let im = if bits & 2 == 0 { 1.0 } else { -1.0 };
+            Complex::new(re, im) * std::f64::consts::FRAC_1_SQRT_2
+        })
+        .collect()
+}
+
+fn measure_rank(
+    engine: &dyn FftEngine,
+    signal: &[C64],
+    direction: Direction,
+    reps: usize,
+) -> Result<EngineRank, FftError> {
+    let mut wall_ns = f64::INFINITY;
+    for _ in 0..reps {
+        let start = Instant::now();
+        engine.execute(signal, direction)?;
+        wall_ns = wall_ns.min(start.elapsed().as_nanos() as f64);
+    }
+    // Cycle-accurate backends rank by modeled hardware time, not by
+    // how long the simulator took on the host.
+    let modeled_cycles = engine.cycles();
+    let score_ns = modeled_cycles.map_or(wall_ns, |c| c as f64 / ASIP_CLOCK_GHZ);
+    Ok(EngineRank {
+        name: engine.name().to_string(),
+        score_ns,
+        wall_ns: Some(wall_ns),
+        modeled_cycles,
+        traffic_points: engine.traffic().map(|t| t.total()),
+    })
+}
+
+/// Rough per-point-operation cost of the f64 software backends, ns.
+const HOST_OP_NS: f64 = 2.0;
+/// Rough cost of moving one complex point through main memory, ns.
+const HOST_MEM_NS: f64 = 0.5;
+
+fn estimate_rank(engine: &dyn FftEngine) -> EngineRank {
+    let n = engine.len();
+    let nf = n as f64;
+    let log2n = (usize::BITS - n.leading_zeros()).saturating_sub(1) as f64;
+    let traffic = engine.traffic().map(|t| t.total());
+    let (score_ns, modeled_cycles) = if engine.name() == "asip_iss" {
+        // Closed-form cycle model of the array ASIP: N log2 N / 8
+        // butterfly issues, 2N streaming beats, fixed startup.
+        let cycles = nf * log2n / 8.0 + 2.0 * nf + 64.0;
+        (cycles / ASIP_CLOCK_GHZ, Some(cycles as u64))
+    } else {
+        // Operation models per backend; the constants encode the size
+        // thresholds (the naive DFT's N^2 overtakes every N log N
+        // structure beyond trivially small N).
+        let ops = match engine.name() {
+            "dft_naive" => nf * nf,
+            "radix2_dit" => nf * log2n,
+            "radix2_dif" => 1.1 * nf * log2n, // + bit-reverse pass
+            "array_fft" => 1.15 * nf * log2n, // group bookkeeping
+            "cached_fft" => 1.2 * nf * log2n,
+            "mcfft" => 1.25 * nf * log2n, // per-epoch twiddle passes
+            // The complex contract costs real_fft its packed-real
+            // saving: two half-size packed transforms (re + im) plus
+            // O(N) split/expand/recombine with per-bin twiddles.
+            "real_fft" => 2.2 * nf * log2n,
+            _ => nf * log2n,
+        };
+        (HOST_OP_NS * ops + HOST_MEM_NS * traffic.unwrap_or(0) as f64, None)
+    };
+    EngineRank {
+        name: engine.name().to_string(),
+        score_ns,
+        wall_ns: None,
+        modeled_cycles,
+        traffic_points: traffic,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimate_ranks_every_registry_engine() {
+        let mut planner = Planner::new();
+        let plan = planner.plan(256, Strategy::Estimate).unwrap();
+        assert_eq!(plan.ranking.len(), EngineRegistry::standard(256).unwrap().len());
+        assert!(!plan.from_wisdom);
+        // Scores are sorted ascending and the O(N^2) reference loses.
+        for pair in plan.ranking.windows(2) {
+            assert!(pair[0].score_ns <= pair[1].score_ns);
+        }
+        assert_eq!(plan.ranking.last().unwrap().name, "dft_naive");
+        assert_ne!(plan.best().name, "dft_naive");
+    }
+
+    #[test]
+    fn measure_ranks_and_caches_into_wisdom() {
+        let mut planner = Planner::new().with_measure_reps(1);
+        let plan = planner.plan(64, Strategy::Measure).unwrap();
+        assert!(!plan.from_wisdom);
+        assert_eq!(plan.ranking.len(), 6);
+        assert!(plan.ranking.iter().all(|r| r.wall_ns.is_some()));
+        assert_eq!(planner.wisdom().len(), 1);
+        // Second call replays the wisdom without re-measuring.
+        let replay = planner.plan(64, Strategy::Measure).unwrap();
+        assert!(replay.from_wisdom);
+        assert_eq!(replay.best().name, plan.best().name);
+        assert_eq!(replay.ranking.len(), plan.ranking.len());
+    }
+
+    #[test]
+    fn planned_engine_is_instantiable_and_correct_size() {
+        let mut planner = Planner::new();
+        let plan = planner.plan(128, Strategy::Estimate).unwrap();
+        let engine = planner.engine(&plan).unwrap();
+        assert_eq!(engine.name(), plan.best().name);
+        assert_eq!(engine.len(), 128);
+    }
+
+    #[test]
+    fn estimate_and_measure_wisdom_are_keyed_apart() {
+        let mut planner = Planner::new().with_measure_reps(1);
+        planner.plan(64, Strategy::Estimate).unwrap();
+        planner.plan(64, Strategy::Measure).unwrap();
+        planner.plan_directed(64, Direction::Inverse, Strategy::Estimate).unwrap();
+        assert_eq!(planner.wisdom().len(), 3);
+    }
+
+    #[test]
+    fn calibration_signal_is_deterministic_qpsk() {
+        let a = calibration_signal(64);
+        assert_eq!(a, calibration_signal(64));
+        assert_ne!(a, calibration_signal(128)[..64].to_vec());
+        for c in &a {
+            assert!((c.abs() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn strategy_names_round_trip() {
+        for s in [Strategy::Estimate, Strategy::Measure] {
+            assert_eq!(Strategy::parse(s.as_str()), Some(s));
+        }
+        assert_eq!(Strategy::parse("guess"), None);
+    }
+}

@@ -1,0 +1,70 @@
+//! Acceptance: the threaded batch executor produces *bit-identical*
+//! spectra to sequential execution on a 64-symbol OFDM batch, through
+//! a plan that came out of the planner (and back out of wisdom).
+
+use afft_core::engine::EngineRegistry;
+use afft_core::ofdm::{qpsk_map, Ofdm};
+use afft_core::Direction;
+use afft_num::C64;
+use afft_planner::{BatchExecutor, Planner, Strategy, Wisdom};
+
+const N: usize = 128;
+const CP: usize = 32;
+const SYMBOLS: usize = 64;
+
+/// 64 modulated OFDM symbols (CP stripped: receiver FFT input).
+fn ofdm_batch() -> Vec<Vec<C64>> {
+    let ofdm = Ofdm::new(N, CP).expect("ofdm");
+    (0..SYMBOLS)
+        .map(|s| {
+            let bits: Vec<(bool, bool)> =
+                (0..N).map(|k| ((s + k) % 3 == 0, (s * 7 + k) % 5 < 2)).collect();
+            let tx = ofdm.modulate(&qpsk_map(&bits)).expect("modulate");
+            tx[CP..].to_vec()
+        })
+        .collect()
+}
+
+#[test]
+fn threaded_pool_is_bit_identical_on_a_64_symbol_ofdm_batch() {
+    let mut planner = Planner::new().with_measure_reps(1);
+    let plan = planner.plan(N, Strategy::Measure).expect("measure plan");
+    assert_eq!(plan.ranking.len(), EngineRegistry::standard(N).expect("registry").len());
+
+    let executor = planner.executor(&plan).expect("executor");
+    let batch = ofdm_batch();
+    let sequential = executor.execute(&batch, Direction::Forward).expect("sequential");
+    for workers in [2usize, 4, 7, 64] {
+        let threaded =
+            executor.execute_threaded(&batch, Direction::Forward, workers).expect("threaded");
+        assert_eq!(sequential, threaded, "workers={workers} must be bit-identical");
+    }
+
+    // And the demodulated constellations are the transmitted ones.
+    let bits0: Vec<(bool, bool)> = (0..N).map(|k| (k % 3 == 0, k % 5 < 2)).collect();
+    let decided: Vec<(bool, bool)> =
+        sequential[0].iter().map(|c| (c.re >= 0.0, c.im >= 0.0)).collect();
+    assert_eq!(decided, bits0);
+}
+
+#[test]
+fn wisdom_replayed_plan_drives_the_same_executor() {
+    // Plan, serialize the wisdom, revive a fresh planner from the
+    // text, and check the replayed plan builds an equivalent executor.
+    let mut planner = Planner::new();
+    let plan = planner.plan(N, Strategy::Estimate).expect("plan");
+    let text = planner.wisdom().serialize();
+
+    let mut revived = Planner::new().with_wisdom(Wisdom::parse(&text));
+    let replay = revived.plan(N, Strategy::Estimate).expect("replay");
+    assert!(replay.from_wisdom);
+    assert_eq!(replay.best().name, plan.best().name);
+
+    let a = BatchExecutor::from_plan(&plan, EngineRegistry::standard).expect("exec");
+    let b = revived.executor(&replay).expect("exec from wisdom");
+    let batch = ofdm_batch();
+    assert_eq!(
+        a.execute(&batch, Direction::Forward).expect("a"),
+        b.execute_threaded(&batch, Direction::Forward, 4).expect("b"),
+    );
+}

@@ -1,89 +1,93 @@
 //! The paper's motivating workload: the FFT stage of an MB-UWB
-//! (802.15.3a-class) OFDM receiver.
+//! (802.15.3a-class) OFDM receiver — now with the receiver backend
+//! *planned* instead of hard-coded.
 //!
-//! A transmitter IFFTs QPSK symbols onto 128 subcarriers; the channel
-//! adds noise; the receiver runs the 128-point forward FFT **on the
-//! simulated ASIP**, selected from the engine registry by name — swap
-//! the name to demodulate on any other backend. The example checks the
-//! demodulated bits and reports whether the simulated throughput meets
-//! the UWB real-time budget the paper quotes (409.6 Msamples/s across
-//! the device; here we report per-core numbers).
+//! A transmitter modulates QPSK symbols onto 128 subcarriers through
+//! the golden-model `Ofdm`; the channel adds noise; the receiver side
+//! asks the autotuning planner for the fastest backend (measured over
+//! the full registry, cycle-accurate ASIP included — it wins on
+//! modeled hardware time). The plan is replayed from the per-machine
+//! wisdom file when one exists (run the `wimax_scalable` example or
+//! the `planner` bench bin first to warm it), the demodulator runs on
+//! the planned engine via `Ofdm::with_engine`, and the whole frame is
+//! also pushed through the threaded `BatchExecutor` to check the pool
+//! is bit-identical to sequential execution.
 //!
 //! ```text
 //! cargo run --release --example ofdm_uwb_receiver
 //! ```
 
 use afft::asip::engine::registry_with_asip;
+use afft::core::ofdm::{qpsk_demap, qpsk_map, Ofdm};
 use afft::core::Direction;
 use afft::num::{Complex, C64};
+use afft::planner::{Planner, Strategy, Wisdom};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 const N: usize = 128; // MB-OFDM UWB FFT size
+const CP: usize = 32; // cyclic prefix
 const SYMBOLS: usize = 8;
-
-/// The backend the receiver runs on. Any registered engine name works;
-/// the cycle-accurate ASIP is the paper's configuration.
-const RECEIVER_BACKEND: &str = "asip_iss";
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(2009);
-    let registry = registry_with_asip(N)?;
-    let ifft = registry.get("array_fft").expect("transmitter backend");
-    let rx_fft = registry.get(RECEIVER_BACKEND).expect("receiver backend");
 
-    let mut total_cycles = 0u64;
-    let mut bit_errors = 0usize;
-    let mut total_bits = 0usize;
+    // Plan the receiver FFT: every backend in the registry competes,
+    // the cycle-accurate ISS by its modeled cycles. Wisdom makes the
+    // measurement a one-time cost per machine.
+    let wisdom_path = Wisdom::default_path();
+    let mut planner =
+        Planner::with_factory(registry_with_asip).with_wisdom(Wisdom::load(&wisdom_path)?);
+    let plan = planner.plan(N, Strategy::Measure)?;
+    println!(
+        "planner: receiver FFT -> {} ({}; {} backends ranked)",
+        plan.best().name,
+        if plan.from_wisdom { "replayed from wisdom" } else { "measured now" },
+        plan.ranking.len(),
+    );
 
-    for sym in 0..SYMBOLS {
-        // Transmitter: QPSK on every subcarrier, IFFT to time domain.
-        let tx_bits: Vec<(bool, bool)> = (0..N).map(|_| (rng.gen(), rng.gen())).collect();
-        let freq: Vec<C64> = tx_bits
-            .iter()
-            .map(|&(b0, b1)| {
-                let re = if b0 { 1.0 } else { -1.0 };
-                let im = if b1 { 1.0 } else { -1.0 };
-                Complex::new(re, im) * std::f64::consts::FRAC_1_SQRT_2
-            })
-            .collect();
-        let time: Vec<C64> = ifft
-            .execute(&freq, Direction::Inverse)?
-            .iter()
-            .map(|&c| c * (1.0 / N as f64))
-            .collect();
+    // Transmitter on the golden model; receiver on the planned engine.
+    let tx_ofdm = Ofdm::new(N, CP)?;
+    let rx_ofdm = Ofdm::with_engine(planner.engine(&plan)?, CP)?;
 
+    let mut tx_bits: Vec<Vec<(bool, bool)>> = Vec::with_capacity(SYMBOLS);
+    let mut rx_frames: Vec<Vec<C64>> = Vec::with_capacity(SYMBOLS);
+    for _ in 0..SYMBOLS {
+        let bits: Vec<(bool, bool)> = (0..N).map(|_| (rng.gen(), rng.gen())).collect();
+        let tx = tx_ofdm.modulate(&qpsk_map(&bits))?;
         // Channel: AWGN at a comfortable SNR.
-        let rx: Vec<C64> = time
+        let rx: Vec<C64> = tx
             .iter()
             .map(|&c| c + Complex::new(rng.gen_range(-0.01..0.01), rng.gen_range(-0.01..0.01)))
             .collect();
+        tx_bits.push(bits);
+        rx_frames.push(rx);
+    }
 
-        // Receiver: forward FFT on the selected backend (the 16-bit
-        // ASIP datapath behind the same trait as the f64 models).
-        let bins = rx_fft.execute(&rx, Direction::Forward)?;
+    // Receiver: demodulate every symbol on the planned backend.
+    let mut total_cycles = 0u64;
+    let mut bit_errors = 0usize;
+    let mut total_bits = 0usize;
+    let mut spectra: Vec<Vec<C64>> = Vec::with_capacity(SYMBOLS);
+    for (bits, frame) in tx_bits.iter().zip(&rx_frames) {
+        let bins = rx_ofdm.demodulate(frame)?;
         // Only cycle-accurate backends report cycles; the f64 models
         // demodulate identically but have no cost observable.
-        total_cycles += rx_fft.cycles().unwrap_or(0);
-
-        // Demap.
-        for (k, &(b0, b1)) in tx_bits.iter().enumerate() {
-            let (d0, d1) = (bins[k].re >= 0.0, bins[k].im >= 0.0);
+        total_cycles += rx_ofdm.engine().cycles().unwrap_or(0);
+        for (decided, &sent) in qpsk_demap(&bins).iter().zip(bits) {
             total_bits += 2;
-            bit_errors += usize::from(d0 != b0) + usize::from(d1 != b1);
+            bit_errors += usize::from(decided.0 != sent.0) + usize::from(decided.1 != sent.1);
         }
-        if sym == 0 {
-            let traffic =
-                rx_fft.traffic().map_or("unmodelled".to_string(), |t| t.total().to_string());
-            let cycles = rx_fft.cycles().map_or("-".to_string(), |c| c.to_string());
-            println!(
-                "symbol 0 on {}: {} cycles, {} points moved to/from main memory",
-                rx_fft.name(),
-                cycles,
-                traffic
-            );
-        }
+        spectra.push(bins);
     }
+
+    // The same frame through the batched executor, threaded: the pool
+    // shards symbols across workers and must be bit-identical.
+    let executor = planner.executor(&plan)?;
+    let batch: Vec<Vec<C64>> = rx_frames.iter().map(|f| f[CP..].to_vec()).collect();
+    let threaded = executor.execute_threaded(&batch, Direction::Forward, 4)?;
+    assert_eq!(threaded, spectra, "threaded batch must match per-symbol demodulation");
+    println!("batch: {SYMBOLS} symbols on 4 workers, bit-identical to sequential");
 
     println!();
     println!("demodulated {SYMBOLS} OFDM symbols: {bit_errors}/{total_bits} bit errors");
@@ -98,8 +102,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             N as f64 / us_per_symbol
         );
     } else {
-        println!("(backend {} has no cycle model; cost table skipped)", rx_fft.name());
+        println!("(backend {} has no cycle model; cost table skipped)", rx_ofdm.engine().name());
     }
     assert_eq!(bit_errors, 0, "QPSK at this SNR must demodulate cleanly");
+
+    // Remember what we learned for the next process.
+    planner.wisdom().store(&wisdom_path)?;
+    println!("wisdom: {} plans cached at {}", planner.wisdom().len(), wisdom_path.display());
     Ok(())
 }

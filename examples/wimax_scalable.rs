@@ -1,46 +1,53 @@
 //! The paper's flexibility claim: WiMAX/802.16 scales its FFT from 128
 //! to 2048 points with channel bandwidth. One ASIP — reprogrammed per
-//! size, identical hardware — covers the whole range, and through the
-//! engine registry every software backend sweeps the same sizes for
-//! cross-validation.
-//!
-//! For every WiMAX size this example rebuilds the registry, runs each
-//! backend on the same signal, validates everything against the naive
-//! DFT via the trait, and prints the ASIP cost table (the paper's
-//! "ease of scalability" demonstration extended beyond Table I).
+//! size, identical hardware — covers the whole range; here the
+//! autotuning planner *measures* that claim: for every WiMAX size it
+//! ranks the full engine registry (software models plus the
+//! cycle-accurate ISS, which competes on modeled hardware cycles),
+//! compares the Estimate heuristics against the Measure calibration,
+//! cross-validates every backend against the naive DFT, and merges the
+//! measurements into the per-machine wisdom file so later runs — and
+//! the `ofdm_uwb_receiver` example — replay the rankings instead of
+//! re-measuring (the validation sweep still executes every backend
+//! each run; that is the point of the example).
 //!
 //! ```text
 //! cargo run --release --example wimax_scalable
 //! ```
 
 use afft::asip::engine::registry_with_asip;
-use afft::core::reference::max_error;
+use afft::core::reference::{dft_naive, max_error};
 use afft::core::{Direction, Split};
-use afft::num::C64;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use afft::planner::{calibration_signal, Planner, Strategy, Wisdom};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    println!("WiMAX scalable-FFT sweep (identical hardware, per-size program)");
+    println!("WiMAX scalable-FFT sweep, autotuned (identical hardware, per-size program)");
     println!();
     println!(
-        "{:>6} {:>5} {:>5} {:>9} {:>10} {:>10} {:>12} {:>9}",
-        "N", "P", "Q", "cycles", "us@300", "Mbps", "max err", "backends"
+        "{:>6} {:>5} {:>5} {:>9} {:>10} {:>10} {:>12} {:>12} {:>12} {:>9}",
+        "N", "P", "Q", "cycles", "us@300", "Mbps", "max err", "measured", "estimated", "backends"
     );
-    let mut rng = StdRng::seed_from_u64(7);
+
+    // Seeded from the per-machine wisdom file: the first run pays the
+    // Measure sweep, later runs replay the cached rankings.
+    let path = Wisdom::default_path();
+    let mut planner = Planner::with_factory(registry_with_asip)
+        .with_wisdom(Wisdom::load(&path)?)
+        .with_measure_reps(2);
     for n in [128usize, 256, 512, 1024, 2048] {
         let split = Split::for_size(n)?;
-        let signal: Vec<C64> =
-            (0..n).map(|_| C64::new(rng.gen_range(-0.8..0.8), rng.gen_range(-0.8..0.8))).collect();
+        let estimate = planner.plan(n, Strategy::Estimate)?;
+        let measure = planner.plan(n, Strategy::Measure)?;
 
-        // Every backend at this size, one polymorphic sweep.
+        // Speed is only half the story: cross-validate every backend
+        // against the naive DFT at this size (2048 is covered nowhere
+        // else) before trusting the ranking.
         let registry = registry_with_asip(n)?;
-        let want =
-            registry.get("dft_naive").expect("golden").execute(&signal, Direction::Forward)?;
+        let signal = calibration_signal(n);
+        let want = dft_naive(&signal, Direction::Forward)?;
         let peak = want.iter().map(|c| c.abs()).fold(0.0f64, f64::max);
         let mut worst = 0.0f64;
         for engine in registry.engines() {
-            // The golden reference already ran; don't pay its O(N^2) twice.
             if engine.name() == "dft_naive" {
                 continue;
             }
@@ -50,10 +57,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             worst = worst.max(err);
         }
 
-        // The simulated hardware's cost observables for the table.
-        let cycles = registry.get("asip_iss").expect("asip").cycles().expect("ran in the sweep");
+        // The simulated hardware's cost observables: off the measured
+        // ranking on a fresh measurement, off the validation sweep's
+        // ISS run when the ranking was replayed from wisdom (replays
+        // carry no cycle observables).
+        let asip = measure
+            .ranking
+            .iter()
+            .find(|r| r.name == "asip_iss")
+            .expect("the ISS competes at every WiMAX size");
+        let cycles = asip
+            .modeled_cycles
+            .or_else(|| registry.get("asip_iss").and_then(|e| e.cycles()))
+            .expect("the validation sweep ran the ISS");
         println!(
-            "{:>6} {:>5} {:>5} {:>9} {:>10.2} {:>10.1} {:>12.2e} {:>9}",
+            "{:>6} {:>5} {:>5} {:>9} {:>10.2} {:>10.1} {:>12.2e} {:>12} {:>12} {:>9}",
             n,
             split.p_size,
             split.q_size,
@@ -61,11 +79,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             cycles as f64 / 300.0,
             afft::sim::throughput_mbps(n, cycles, 300.0),
             worst,
-            registry.len(),
+            measure.best().name,
+            estimate.best().name,
+            measure.ranking.len(),
         );
     }
+
+    // Re-load before storing so plans another process cached while we
+    // ran survive the merge.
+    let mut wisdom = Wisdom::load(&path)?;
+    wisdom.merge(planner.wisdom());
+    wisdom.store(&path)?;
     println!();
-    println!("every size ran on the same simulated hardware (CRF sized by epoch-0 group),");
-    println!("and every registered backend agreed with the naive DFT via the FftEngine trait");
+    println!("every size ranked AND validated against the naive DFT via the FftEngine trait;");
+    println!(
+        "{} measured plans merged into {} (wisdom now caches {} plans)",
+        planner.wisdom().len(),
+        path.display(),
+        wisdom.len(),
+    );
     Ok(())
 }

@@ -16,6 +16,10 @@
 //!   cache and the custom BU/CRF/AC/ROM hardware;
 //! * [`asip`] ([`afft_asip`]) — program generators (Algorithm 1, the
 //!   soft-float library, the Imple-1 software FFT) and run drivers;
+//! * [`planner`] ([`afft_planner`]) — the autotuning planner: ranks
+//!   the registry per transform shape (Estimate heuristics or Measure
+//!   calibration), caches winners as serializable wisdom, and batches
+//!   multi-symbol workloads through the planned engine;
 //! * [`baselines`] ([`afft_baselines`]) — the TI C6713 and Xtensa
 //!   trace-driven models of Table II;
 //! * [`hwmodel`] ([`afft_hwmodel`]) — the Section IV gate/power/timing
@@ -50,4 +54,5 @@ pub use afft_core as core;
 pub use afft_hwmodel as hwmodel;
 pub use afft_isa as isa;
 pub use afft_num as num;
+pub use afft_planner as planner;
 pub use afft_sim as sim;

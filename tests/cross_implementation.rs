@@ -49,9 +49,16 @@ fn every_registered_engine_computes_the_same_spectrum() {
 fn registry_carries_all_backends_at_1024() {
     let registry = registry_with_asip(1024).expect("registry");
     assert!(registry.len() >= 5, "expected >= 5 backends, got {:?}", registry.names());
-    for name in
-        ["dft_naive", "radix2_dit", "radix2_dif", "mcfft", "array_fft", "cached_fft", "asip_iss"]
-    {
+    for name in [
+        "dft_naive",
+        "radix2_dit",
+        "radix2_dif",
+        "mcfft",
+        "array_fft",
+        "cached_fft",
+        "real_fft",
+        "asip_iss",
+    ] {
         assert!(registry.get(name).is_some(), "missing engine {name}");
         assert_eq!(registry.get(name).unwrap().len(), 1024);
     }
