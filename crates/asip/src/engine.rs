@@ -1,15 +1,18 @@
 //! [`FftEngine`] adapter over the cycle-accurate ASIP ISS: the
 //! simulated hardware as just another backend in the registry.
 //!
-//! [`AsipEngine::execute`] quantises the `f64` input into the Q15 wire
-//! format (auto-scaled to 50% of full scale at the input peak), runs
-//! the generated Algorithm-1 program on the simulator, and rescales the
-//! output back to the unnormalised-DFT contract of the trait. Execution
-//! statistics of the most recent run (cycles, instruction classes,
-//! cache counters) are retained and exposed through
-//! [`AsipEngine::last_stats`]; [`AsipEngine::traffic`] reports the
-//! measured `LDIN`/`STOUT` point traffic once a run has happened and
-//! the closed-form prediction (`2N` points each way) before.
+//! [`AsipEngine::execute_into`](afft_core::FftEngine::execute_into)
+//! quantises the `f64` input into the Q15 wire format (auto-scaled to
+//! 50% of full scale at the input peak) in an engine-owned staging
+//! buffer — reused across runs, so the adapter adds no per-transform
+//! heap work of its own — runs the generated Algorithm-1 program on
+//! the simulator, and rescales the output back to the
+//! unnormalised-DFT contract of the trait. Execution statistics of the
+//! most recent run (cycles, instruction classes, cache counters) are
+//! retained and exposed through [`AsipEngine::last_stats`];
+//! [`AsipEngine::traffic`] reports the measured `LDIN`/`STOUT` point
+//! traffic once a run has happened and the closed-form prediction
+//! (`2N` points each way) before.
 //!
 //! # Examples
 //!
@@ -18,7 +21,7 @@
 //! use afft_core::{Direction, FftEngine};
 //! use afft_num::Complex;
 //!
-//! let engine = AsipEngine::new(64)?;
+//! let mut engine = AsipEngine::new(64)?;
 //! let x = vec![Complex::new(1.0, 0.0); 64];
 //! let spectrum = engine.execute(&x, Direction::Forward)?;
 //! assert!((spectrum[0].re - 64.0).abs() < 0.5);
@@ -28,11 +31,10 @@
 
 use crate::runner::{run_array_fft, AsipConfig, AsipError};
 use afft_core::cached::MemTraffic;
-use afft_core::engine::{EngineRegistry, FftEngine};
+use afft_core::engine::{check_io, EngineRegistry, FftEngine};
 use afft_core::{Direction, FftError, Split};
 use afft_num::{Complex, C64, Q15};
 use afft_sim::Stats;
-use core::cell::RefCell;
 
 /// Fraction of Q15 full scale the input peak is normalised to before
 /// quantisation: headroom against the intermediate growth the per-stage
@@ -43,7 +45,9 @@ const QUANT_AMPLITUDE: f64 = 0.5;
 pub struct AsipEngine {
     n: usize,
     cfg: AsipConfig,
-    last_stats: RefCell<Option<Stats>>,
+    last_stats: Option<Stats>,
+    // Reusable Q15 quantisation staging for the wire-format input.
+    quant_scratch: Vec<Complex<Q15>>,
 }
 
 impl AsipEngine {
@@ -64,13 +68,13 @@ impl AsipEngine {
     /// Returns [`FftError::InvalidSize`] for unsupported sizes.
     pub fn with_config(n: usize, cfg: AsipConfig) -> Result<Self, FftError> {
         Split::for_size(n)?;
-        Ok(AsipEngine { n, cfg, last_stats: RefCell::new(None) })
+        Ok(AsipEngine { n, cfg, last_stats: None, quant_scratch: Vec::new() })
     }
 
-    /// Execution statistics of the most recent [`FftEngine::execute`]
-    /// call, or `None` before the first run.
+    /// Execution statistics of the most recent transform, or `None`
+    /// before the first run.
     pub fn last_stats(&self) -> Option<Stats> {
-        *self.last_stats.borrow()
+        self.last_stats
     }
 
     /// Cycle count of the most recent run, or `None` before the first.
@@ -97,27 +101,35 @@ impl FftEngine for AsipEngine {
         self.n
     }
 
-    fn execute(&self, input: &[C64], dir: Direction) -> Result<Vec<C64>, FftError> {
-        if input.len() != self.n {
-            return Err(FftError::LengthMismatch { expected: self.n, got: input.len() });
-        }
+    fn execute_into(
+        &mut self,
+        input: &[C64],
+        output: &mut [C64],
+        dir: Direction,
+    ) -> Result<(), FftError> {
+        check_io(self.n, input, output)?;
         // Normalise the peak component to QUANT_AMPLITUDE of full scale
         // so arbitrary-magnitude inputs survive quantisation.
         let peak = input.iter().map(|c| c.re.abs().max(c.im.abs())).fold(0.0, f64::max);
         let scale = if peak > 0.0 { QUANT_AMPLITUDE / peak } else { 1.0 };
-        let quantised: Vec<Complex<Q15>> =
-            input.iter().map(|&c| Complex::from_c64(c * scale)).collect();
+        self.quant_scratch.resize(self.n, Complex::zero());
+        for (slot, &c) in self.quant_scratch.iter_mut().zip(input) {
+            *slot = Complex::from_c64(c * scale);
+        }
 
-        let run = run_array_fft(&quantised, dir, &self.cfg).map_err(|e| match e {
+        let run = run_array_fft(&self.quant_scratch, dir, &self.cfg).map_err(|e| match e {
             AsipError::Fft(e) => e,
             other => FftError::Backend { engine: "asip_iss".into(), reason: other.to_string() },
         })?;
-        *self.last_stats.borrow_mut() = Some(run.stats);
+        self.last_stats = Some(run.stats);
 
         // The datapath scales by 1/N; undo that and the input scaling
         // to meet the unnormalised-DFT contract.
         let restore = self.n as f64 / scale;
-        Ok(run.output.iter().map(|q| q.to_c64() * restore).collect())
+        for (slot, q) in output.iter_mut().zip(&run.output) {
+            *slot = q.to_c64() * restore;
+        }
+        Ok(())
     }
 
     fn traffic(&self) -> Option<MemTraffic> {
@@ -181,7 +193,7 @@ mod tests {
     #[test]
     fn asip_engine_matches_naive_dft_within_tolerance() {
         let n = 128;
-        let engine = AsipEngine::new(n).unwrap();
+        let mut engine = AsipEngine::new(n).unwrap();
         let x = random_signal(n, 1);
         let got = engine.execute(&x, Direction::Forward).unwrap();
         let want = dft_naive(&x, Direction::Forward).unwrap();
@@ -193,7 +205,7 @@ mod tests {
     #[test]
     fn stats_and_traffic_reflect_the_run() {
         let n = 256;
-        let engine = AsipEngine::new(n).unwrap();
+        let mut engine = AsipEngine::new(n).unwrap();
         // Before the run: the closed-form prediction.
         assert_eq!(engine.traffic().unwrap().total(), 4 * n);
         assert!(engine.last_stats().is_none());
@@ -210,7 +222,7 @@ mod tests {
     #[test]
     fn arbitrary_magnitude_inputs_are_normalised() {
         let n = 64;
-        let engine = AsipEngine::new(n).unwrap();
+        let mut engine = AsipEngine::new(n).unwrap();
         // Values far outside [-1, 1): naive quantisation would saturate.
         let x: Vec<C64> = random_signal(n, 3).iter().map(|&c| c * 1000.0).collect();
         let got = engine.execute(&x, Direction::Forward).unwrap();
@@ -223,7 +235,7 @@ mod tests {
     fn rejects_unsupported_sizes_and_lengths() {
         assert!(AsipEngine::new(32).is_err());
         assert!(AsipEngine::new(96).is_err());
-        let engine = AsipEngine::new(64).unwrap();
+        let mut engine = AsipEngine::new(64).unwrap();
         assert!(matches!(
             engine.execute(&random_signal(32, 1), Direction::Forward),
             Err(FftError::LengthMismatch { expected: 64, got: 32 })

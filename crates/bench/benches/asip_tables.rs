@@ -24,11 +24,12 @@ fn bench_table1(c: &mut Criterion) {
     let mut g = c.benchmark_group("table1_asip_cycles");
     g.sample_size(10);
     for n in [64usize, 128, 256, 512, 1024] {
-        let registry = registry_with_asip(n).expect("registry");
-        let engine = registry.get("asip_iss").expect("asip engine");
+        let mut registry = registry_with_asip(n).expect("registry");
+        let engine = registry.get_mut("asip_iss").expect("asip engine");
         let input = random_signal(n, n as u64);
+        let mut out = vec![afft_num::Complex::zero(); n];
         // Print the observable once so bench logs double as the table.
-        engine.execute(&input, Direction::Forward).expect("run");
+        engine.execute_into(&input, &mut out, Direction::Forward).expect("run");
         let cycles = engine.cycles().expect("cycle-accurate backend");
         println!(
             "[table1] N={n}: {} cycles, {:.1} Mbps@300MHz",
@@ -36,7 +37,9 @@ fn bench_table1(c: &mut Criterion) {
             afft_sim::throughput_mbps(n, cycles, 300.0)
         );
         g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| engine.execute(black_box(&input), Direction::Forward).expect("run"));
+            b.iter(|| {
+                engine.execute_into(black_box(&input), &mut out, Direction::Forward).expect("run")
+            });
         });
     }
     g.finish();
@@ -47,11 +50,14 @@ fn bench_table2(c: &mut Criterion) {
     g.sample_size(10);
 
     let n = 1024usize;
-    let registry = registry_with_asip(n).expect("registry");
+    let mut registry = registry_with_asip(n).expect("registry");
     let input = random_signal(n, 1);
-    let imple4 = registry.get("asip_iss").expect("asip engine");
+    let imple4 = registry.get_mut("asip_iss").expect("asip engine");
+    let mut out = vec![afft_num::Complex::zero(); n];
     g.bench_function("imple4_array_asip_1024", |b| {
-        b.iter(|| imple4.execute(black_box(&input), Direction::Forward).expect("run"));
+        b.iter(|| {
+            imple4.execute_into(black_box(&input), &mut out, Direction::Forward).expect("run")
+        });
     });
     g.bench_function("imple3_xtensa_1024", |b| {
         b.iter(|| xtensa::run_xtensa_fft(black_box(n), &xtensa::XtensaConfig::default()));

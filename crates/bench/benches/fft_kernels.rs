@@ -1,29 +1,45 @@
 //! Criterion benches of the software FFT kernels, driven through the
-//! [`EngineRegistry`]: every registered backend is benched with the
-//! same `execute` call, plus the address-generation closed forms.
+//! [`EngineRegistry`]: every registered backend is benched on the
+//! zero-allocation `execute_into` path (plus the allocating `execute`
+//! wrapper on `array_fft`, to keep the cost of the convenience path
+//! visible), plus the address-generation closed forms.
 
 use afft_bench::workload::random_signal;
 use afft_core::address::stage_butterflies;
 use afft_core::engine::EngineRegistry;
 use afft_core::rom::PrerotTable;
 use afft_core::Direction;
+use afft_num::Complex;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
 fn bench_engines(c: &mut Criterion) {
     for n in [64usize, 256, 1024, 4096] {
-        let registry = EngineRegistry::standard(n).expect("registry");
+        let mut registry = EngineRegistry::standard(n).expect("registry");
         let x = random_signal(n, n as u64);
+        let mut out = vec![Complex::zero(); n];
         let mut g = c.benchmark_group(&format!("engines_{n}"));
-        for engine in registry.engines() {
+        for engine in registry.engines_mut() {
             // The O(N^2) reference dominates wall-clock at large sizes;
             // bench it where it is still the same order as the FFTs.
             if engine.name() == "dft_naive" && n > 1024 {
                 continue;
             }
             g.bench_with_input(BenchmarkId::new(engine.name(), n), &x, |b, x| {
-                b.iter(|| engine.execute(black_box(x), Direction::Forward).expect("execute"));
+                b.iter(|| {
+                    engine
+                        .execute_into(black_box(x), &mut out, Direction::Forward)
+                        .expect("execute_into")
+                });
             });
+            if engine.name() == "array_fft" {
+                // The `execute` wrapper (one output allocation over the
+                // same fast path) — named to match the throughput bin's
+                // `wrap/s` arm, not its fully-allocating `alloc/s` arm.
+                g.bench_with_input(BenchmarkId::new("array_fft_wrap", n), &x, |b, x| {
+                    b.iter(|| engine.execute(black_box(x), Direction::Forward).expect("execute"));
+                });
+            }
         }
         g.finish();
     }

@@ -27,7 +27,7 @@ fn main() {
         )
     );
     for n in [64usize, 128, 256, 512, 1024, 2048, 4096] {
-        let engine = AsipEngine::new(n).expect("plan");
+        let mut engine = AsipEngine::new(n).expect("plan");
         engine.execute(&random_signal(n, n as u64), Direction::Forward).expect("ASIP run failed");
         let stats = engine.last_stats().expect("cycle-accurate run retains stats");
         let cycles = stats.cycles;

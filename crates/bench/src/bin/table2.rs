@@ -35,7 +35,7 @@ fn main() {
     // Imple 3: Xtensa FFT ASIP model.
     let xt = xtensa::run_xtensa_fft(n, &xtensa::XtensaConfig::default());
     // Imple 4: our array-FFT ASIP, through the engine adapter.
-    let imple4 = AsipEngine::new(n).expect("plan");
+    let mut imple4 = AsipEngine::new(n).expect("plan");
     imple4.execute(&random_signal(n, 1), Direction::Forward).expect("ASIP run");
     let ours = imple4.last_stats().expect("cycle-accurate run retains stats");
 

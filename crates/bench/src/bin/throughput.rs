@@ -1,0 +1,173 @@
+//! Experiment E10 — host-side throughput of the zero-allocation
+//! execution path: transforms/sec for the **allocating** path versus
+//! the **`execute_into`** path, per engine and size.
+//!
+//! Three arms per `(engine, N)`:
+//!
+//! * `alloc/s` — the per-call-allocation path the seed shipped (every
+//!   intermediate and the output freshly heap-allocated per transform,
+//!   via the public allocating entry points: `ArrayFft::process`,
+//!   `cached_fft`, `mcfft`, `to_vec` + in-place radix-2);
+//! * `wrap/s` — the provided [`execute`](afft_core::FftEngine::execute)
+//!   convenience wrapper (one output allocation, engine-owned scratch
+//!   reused);
+//! * `into/s` — the
+//!   [`execute_into`](afft_core::FftEngine::execute_into) primitive
+//!   (caller output buffer reused, zero heap work per transform).
+//!
+//! ```text
+//! cargo run -p afft-bench --release --bin throughput            # N = 64..1024
+//! cargo run -p afft-bench --release --bin throughput -- --smoke # CI subset
+//! ```
+//!
+//! The closing summary reports the best `into`-vs-`alloc` speedup on
+//! `array_fft`, the engine the batch pipeline plans onto most often.
+
+use afft_bench::row;
+use afft_bench::workload::random_signal;
+use afft_core::cached::cached_fft;
+use afft_core::engine::{EngineRegistry, McfftEngine};
+use afft_core::mcfft::mcfft;
+use afft_core::reference::{bit_reverse_permute, fft_radix2_dif_f64, fft_radix2_dit_f64};
+use afft_core::{ArrayFft, Direction};
+use afft_num::Complex;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Calls `f` repeatedly for roughly `budget`, returning calls/sec.
+fn tps(budget: Duration, mut f: impl FnMut()) -> f64 {
+    f(); // warm engine scratch and caches outside the timed region
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while start.elapsed() < budget {
+        for _ in 0..8 {
+            f();
+        }
+        iters += 8;
+    }
+    iters as f64 / start.elapsed().as_secs_f64()
+}
+
+/// The seed's fully-allocating execution for engines that expose their
+/// legacy entry point (`None` where the trait wrapper is the only
+/// allocating path).
+fn alloc_path_tps(name: &str, n: usize, x: &[Complex<f64>], budget: Duration) -> Option<f64> {
+    let dir = Direction::Forward;
+    match name {
+        "radix2_dit" => Some(tps(budget, || {
+            let mut d = x.to_vec();
+            fft_radix2_dit_f64(&mut d, dir).expect("dit");
+            black_box(&d);
+        })),
+        "radix2_dif" => Some(tps(budget, || {
+            let mut d = x.to_vec();
+            fft_radix2_dif_f64(&mut d, dir).expect("dif");
+            bit_reverse_permute(&mut d);
+            black_box(&d);
+        })),
+        "mcfft" => {
+            let epochs = McfftEngine::new(n).expect("mcfft plan").epochs().clone();
+            Some(tps(budget, || {
+                black_box(mcfft(x, &epochs, dir).expect("mcfft"));
+            }))
+        }
+        "array_fft" => {
+            let plan: ArrayFft<f64> = ArrayFft::new(n).expect("array plan");
+            Some(tps(budget, || {
+                black_box(plan.process(x, dir).expect("process"));
+            }))
+        }
+        "cached_fft" => Some(tps(budget, || {
+            black_box(cached_fft(x, dir).expect("cached").bins);
+        })),
+        _ => None,
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let sizes: &[usize] = if smoke { &[64, 256] } else { &[64, 128, 256, 512, 1024] };
+    let budget = Duration::from_millis(if smoke { 5 } else { 150 });
+
+    let widths = [12usize, 12, 12, 12, 12];
+    let mut best_array = (0.0f64, 0usize); // (speedup, n)
+    for &n in sizes {
+        let mut registry = EngineRegistry::standard(n)?;
+        let names: Vec<String> = registry.names().iter().map(|s| s.to_string()).collect();
+        let x = random_signal(n, n as u64);
+        println!("== throughput at N = {n} (budget {budget:?} per arm) ==");
+        println!(
+            "{}",
+            row(
+                &[
+                    "engine".into(),
+                    "alloc/s".into(),
+                    "wrap/s".into(),
+                    "into/s".into(),
+                    "into/alloc".into(),
+                ],
+                &widths
+            )
+        );
+        for name in names {
+            // The O(N^2) reference would dwarf the budget for nothing:
+            // its allocation fraction is negligible by construction.
+            if name == "dft_naive" {
+                continue;
+            }
+            let mut engine = registry.take(&name).expect("registered");
+            let wrap_tps = tps(budget, || {
+                black_box(engine.execute(&x, Direction::Forward).expect("execute"));
+            });
+            let mut out = vec![Complex::zero(); n];
+            let into_tps = tps(budget, || {
+                engine.execute_into(&x, &mut out, Direction::Forward).expect("execute_into");
+                black_box(&out);
+            });
+            // Engines without a legacy entry point get no alloc arm:
+            // report "-" rather than substituting the wrapper numbers.
+            let alloc_tps = alloc_path_tps(&name, n, &x, budget);
+            let speedup = alloc_tps.map(|a| into_tps / a);
+            // The headline (and the acceptance gate below) counts only
+            // the sizes the refactor targets, N >= 256.
+            if let (true, true, Some(s)) = (name == "array_fft", n >= 256, speedup) {
+                if s > best_array.0 {
+                    best_array = (s, n);
+                }
+            }
+            println!(
+                "{}",
+                row(
+                    &[
+                        name.clone(),
+                        alloc_tps.map_or("-".into(), |a| format!("{a:.0}")),
+                        format!("{wrap_tps:.0}"),
+                        format!("{into_tps:.0}"),
+                        speedup.map_or("-".into(), |s| format!("{s:.2}x")),
+                    ],
+                    &widths
+                )
+            );
+            assert!(into_tps > 0.0 && wrap_tps > 0.0, "{name} produced no iterations");
+        }
+        println!();
+    }
+    println!(
+        "array_fft: execute_into peaks at {:.2}x the allocating path (N = {})",
+        best_array.0, best_array.1
+    );
+    // The acceptance bar of the refactor, enforced after the full
+    // report is printed (never mid-table), and only where the timing
+    // is meaningful: a full run of an optimized build. The --smoke
+    // budgets are too short to gate on a loaded CI runner, and debug
+    // builds slow both arms until the allocation fraction vanishes.
+    if !smoke && !cfg!(debug_assertions) && best_array.0 < 1.5 {
+        eprintln!(
+            "FAIL: execute_into must reach 1.5x the allocating path on array_fft \
+             for some N >= 256, got {:.2}x",
+            best_array.0
+        );
+        std::process::exit(1);
+    }
+    Ok(())
+}

@@ -124,23 +124,26 @@ impl EngineReport {
 ///
 /// Returns [`FftError`] for unsupported sizes or backend failures.
 pub fn survey(n: usize, seed: u64) -> Result<Vec<EngineReport>, FftError> {
-    let registry = registry_with_asip(n)?;
+    let mut registry = registry_with_asip(n)?;
     let x = random_signal(n, seed);
     let golden = registry
-        .get("dft_naive")
+        .get_mut("dft_naive")
         .expect("standard registry always carries the golden reference")
         .execute(&x, Direction::Forward)?;
     let peak = golden.iter().map(|c| c.abs()).fold(f64::MIN_POSITIVE, f64::max);
 
+    // One reusable spectrum buffer for the whole survey: every engine
+    // executes through the allocation-free `_into` path.
+    let mut spectrum = vec![afft_num::Complex::zero(); n];
     let mut reports = Vec::with_capacity(registry.len());
-    for engine in registry.engines() {
+    for engine in registry.engines_mut() {
         // The golden reference already ran; reuse it rather than pay
         // the O(N^2) naive DFT a second time per survey.
-        let spectrum = if engine.name() == "dft_naive" {
-            golden.clone()
+        if engine.name() == "dft_naive" {
+            spectrum.copy_from_slice(&golden);
         } else {
-            engine.execute(&x, Direction::Forward)?
-        };
+            engine.execute_into(&x, &mut spectrum, Direction::Forward)?;
+        }
         reports.push(EngineReport {
             name: engine.name().to_string(),
             n,

@@ -8,15 +8,15 @@
 //! point against this model.
 
 use crate::address::{
-    epoch0_load_addr, epoch0_store_addr, epoch1_load_addr, epoch1_store_addr, prerot_exponent,
-    transposed_to_natural_bin,
+    epoch0_load_addr, epoch0_store_addr, epoch1_load_addr, epoch1_store_addr, module_butterflies,
+    prerot_exponent, transposed_to_natural_bin, Butterfly,
 };
 use crate::bits::bit_reverse;
 use crate::error::FftError;
 use crate::plan::Split;
 use crate::reference::Direction;
 use crate::rom::{CoefRom, PrerotTable};
-use crate::stage::{run_group, Scaling};
+use crate::stage::{butterfly_dif, run_group, Scaling};
 use afft_num::{Complex, Scalar};
 
 /// A planned array-structured FFT of a fixed size `N`.
@@ -24,7 +24,10 @@ use afft_num::{Complex, Scalar};
 /// Construction precomputes the epoch split, the `P/2`-entry coefficient
 /// ROM and the `N/8 + 1`-entry pre-rotation table; [`ArrayFft::process`]
 /// then runs in `O(N log N)` with no allocation beyond the output and
-/// one CRF-sized scratch buffer.
+/// one CRF-sized scratch buffer. For steady-state traffic the plan also
+/// owns reusable scratch: [`ArrayFft::process_into`] writes into a
+/// caller buffer and performs **zero heap allocation** per transform
+/// after the first call.
 ///
 /// # Examples
 ///
@@ -45,6 +48,85 @@ pub struct ArrayFft<T> {
     rom: CoefRom<T>,
     prerot: PrerotTable<T>,
     scaling: Scaling,
+    // Reusable per-plan work buffers for the allocation-free path:
+    // the inter-epoch staging array and the CRF group buffer. Lazily
+    // sized on the first `process_into`, stable thereafter.
+    mid_scratch: Vec<Complex<T>>,
+    crf_scratch: Vec<Complex<T>>,
+    // Compiled lazily on the first `process_into`, like the scratch:
+    // symbolic-path-only consumers never pay for it.
+    sched: Option<CompiledSchedule<T>>,
+}
+
+/// The plan-compiled hot-path schedule behind [`ArrayFft::process_into`]:
+/// the AC unit's symbolic address algebra and the coefficient-ROM
+/// octant reconstruction, evaluated once at plan time into flat tables.
+/// The per-transform loops then run pure gathers, butterflies and
+/// scatters — same operations in the same order as the symbolic path
+/// (the transforms are bit-identical), with none of the per-point
+/// address arithmetic. Forward coefficients are stored; the inverse
+/// direction conjugates at use, exactly as the ROM read path does.
+#[derive(Debug, Clone)]
+struct CompiledSchedule<T> {
+    /// Flattened stage-major butterfly list of the `P`-point group,
+    /// each with its reconstructed forward twiddle.
+    p_group: Vec<(Butterfly, Complex<T>)>,
+    /// Likewise for the `Q`-point group of epoch 1.
+    q_group: Vec<(Butterfly, Complex<T>)>,
+    /// Forward pre-rotation coefficient per epoch-0 store, `[l][bin]`.
+    prerot: Vec<Complex<T>>,
+    /// `bit_reverse(bin, p_stages)` per output bin of a `P` group.
+    rev_p: Vec<usize>,
+    /// `bit_reverse(t, q_stages)` per output point of a `Q` group.
+    rev_q: Vec<usize>,
+}
+
+impl<T: Scalar> CompiledSchedule<T> {
+    fn new(split: &Split, rom: &CoefRom<T>, prerot: &PrerotTable<T>) -> Self {
+        let group = |g_size: usize, stages: u32| -> Vec<(Butterfly, Complex<T>)> {
+            let mut bfs = Vec::with_capacity((g_size / 2) * stages as usize);
+            for j in 1..=stages {
+                for i in 1..=(g_size / 8) {
+                    for bf in module_butterflies(stages, j, i) {
+                        bfs.push((bf, rom.group_twiddle(g_size, bf.rom_addr, Direction::Forward)));
+                    }
+                }
+            }
+            bfs
+        };
+        CompiledSchedule {
+            p_group: group(split.p_size, split.p_stages),
+            q_group: group(split.q_size, split.q_stages),
+            prerot: (0..split.q_size)
+                .flat_map(|l| (0..split.p_size).map(move |bin| prerot_exponent(split, l, bin)))
+                .map(|e| prerot.coefficient(e))
+                .collect(),
+            rev_p: (0..split.p_size).map(|bin| bit_reverse(bin, split.p_stages)).collect(),
+            rev_q: (0..split.q_size).map(|t| bit_reverse(t, split.q_stages)).collect(),
+        }
+    }
+}
+
+/// Runs a compiled group schedule in place: the same butterfly sequence
+/// [`run_group`] walks symbolically, off the flat table.
+fn run_group_compiled<T: Scalar>(
+    crf: &mut [Complex<T>],
+    bfs: &[(Butterfly, Complex<T>)],
+    dir: Direction,
+    scaling: Scaling,
+) {
+    match dir {
+        Direction::Forward => {
+            for &(bf, w) in bfs {
+                butterfly_dif(crf, bf, w, scaling);
+            }
+        }
+        Direction::Inverse => {
+            for &(bf, w) in bfs {
+                butterfly_dif(crf, bf, w.conj(), scaling);
+            }
+        }
+    }
 }
 
 impl<T: Scalar> ArrayFft<T> {
@@ -69,13 +151,7 @@ impl<T: Scalar> ArrayFft<T> {
     /// Returns [`FftError::InvalidSize`] unless `N` is a power of two
     /// `>= 64`.
     pub fn with_scaling(n: usize, scaling: Scaling) -> Result<Self, FftError> {
-        let split = Split::for_size(n)?;
-        Ok(ArrayFft {
-            split,
-            rom: CoefRom::new(split.p_size)?,
-            prerot: PrerotTable::new(n)?,
-            scaling,
-        })
+        Self::with_split(Split::for_size(n)?, scaling)
     }
 
     /// Plans with an explicit `N = P * Q` factorisation (used by the
@@ -83,13 +159,26 @@ impl<T: Scalar> ArrayFft<T> {
     ///
     /// # Errors
     ///
-    /// Returns [`FftError::InvalidDecomposition`] for invalid factors.
+    /// Returns [`FftError::InvalidDecomposition`] for invalid factors,
+    /// including `Q > P` (the coefficient ROM is sized for `P`, the
+    /// larger epoch-0 group, and cannot serve a wider epoch-1 group).
     pub fn with_split(split: Split, scaling: Scaling) -> Result<Self, FftError> {
+        if split.q_size > split.p_size {
+            return Err(FftError::InvalidDecomposition {
+                reason: format!(
+                    "epoch-1 group Q={} exceeds the ROM's group size P={}",
+                    split.q_size, split.p_size
+                ),
+            });
+        }
         Ok(ArrayFft {
-            split,
             rom: CoefRom::new(split.p_size)?,
             prerot: PrerotTable::new(split.n)?,
+            split,
             scaling,
+            mid_scratch: Vec::new(),
+            crf_scratch: Vec::new(),
+            sched: None,
         })
     }
 
@@ -141,38 +230,30 @@ impl<T: Scalar> ArrayFft<T> {
         if input.len() != s.n {
             return Err(FftError::LengthMismatch { expected: s.n, got: input.len() });
         }
-        let mut mid = vec![Complex::zero(); s.n];
         let mut out = vec![Complex::zero(); s.n];
+        let mut mid = vec![Complex::zero(); s.n];
         let mut crf = vec![Complex::zero(); s.p_size];
-
-        // Epoch 0: Q groups of P points.
-        for l in 0..s.q_size {
-            for m in 0..s.p_size {
-                crf[m] = input[epoch0_load_addr(s, l, m)];
-            }
-            run_group(&mut crf, &self.rom, s.p_size, dir, self.scaling);
-            for bin in 0..s.p_size {
-                let v = crf[bit_reverse(bin, s.p_stages)];
-                let w = self.prerot.coefficient_dir(prerot_exponent(s, l, bin), dir);
-                mid[epoch0_store_addr(s, l, bin)] = v * w;
-            }
-        }
-
-        // Epoch 1: P groups of Q points.
-        for g in 0..s.p_size {
-            for l in 0..s.q_size {
-                crf[l] = mid[epoch1_load_addr(s, g, l)];
-            }
-            run_group(&mut crf, &self.rom, s.q_size, dir, self.scaling);
-            for t in 0..s.q_size {
-                out[epoch1_store_addr(s, g, t)] = crf[bit_reverse(t, s.q_stages)];
-            }
-        }
+        run_epochs(
+            s,
+            &self.rom,
+            &self.prerot,
+            self.scaling,
+            input,
+            &mut out,
+            &mut mid,
+            &mut crf,
+            dir,
+            false,
+        );
         Ok(out)
     }
 
     /// Runs the transform and gathers the result into **natural bin
     /// order** (`out[k] = X(k)`), the convenient library-level view.
+    ///
+    /// This is the allocating path: it builds the output and per-call
+    /// work buffers on every invocation. Steady-state callers should
+    /// prefer [`ArrayFft::process_into`].
     ///
     /// # Errors
     ///
@@ -182,8 +263,91 @@ impl<T: Scalar> ArrayFft<T> {
         input: &[Complex<T>],
         dir: Direction,
     ) -> Result<Vec<Complex<T>>, FftError> {
-        let transposed = self.process_transposed(input, dir)?;
-        Ok(self.natural_from_transposed(&transposed))
+        let s = &self.split;
+        if input.len() != s.n {
+            return Err(FftError::LengthMismatch { expected: s.n, got: input.len() });
+        }
+        let mut out = vec![Complex::zero(); s.n];
+        let mut mid = vec![Complex::zero(); s.n];
+        let mut crf = vec![Complex::zero(); s.p_size];
+        run_epochs(
+            s,
+            &self.rom,
+            &self.prerot,
+            self.scaling,
+            input,
+            &mut out,
+            &mut mid,
+            &mut crf,
+            dir,
+            true,
+        );
+        Ok(out)
+    }
+
+    /// Runs the transform into a caller-provided **natural-bin-order**
+    /// buffer, reusing the plan's own scratch: after the first call the
+    /// transform performs **no heap allocation**, and the epoch-1 store
+    /// path scatters straight into `output` (the hardware-layout
+    /// staging pass of [`ArrayFft::process`] is fused away).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] if `input.len() != N` or
+    /// `output.len() != N`.
+    pub fn process_into(
+        &mut self,
+        input: &[Complex<T>],
+        output: &mut [Complex<T>],
+        dir: Direction,
+    ) -> Result<(), FftError> {
+        let s = &self.split;
+        if input.len() != s.n {
+            return Err(FftError::LengthMismatch { expected: s.n, got: input.len() });
+        }
+        if output.len() != s.n {
+            return Err(FftError::LengthMismatch { expected: s.n, got: output.len() });
+        }
+        self.mid_scratch.resize(s.n, Complex::zero());
+        self.crf_scratch.resize(s.p_size, Complex::zero());
+        if self.sched.is_none() {
+            self.sched = Some(CompiledSchedule::new(&self.split, &self.rom, &self.prerot));
+        }
+        let (p, q) = (self.split.p_size, self.split.q_size);
+        let mid = &mut self.mid_scratch[..];
+        let crf = &mut self.crf_scratch[..];
+        let sched = self.sched.as_ref().expect("compiled above");
+
+        // Epoch 0: Q groups of P points, pre-rotated on the store path.
+        for l in 0..q {
+            for (m, slot) in crf.iter_mut().enumerate() {
+                *slot = input[l + q * m];
+            }
+            run_group_compiled(crf, &sched.p_group, dir, self.scaling);
+            let row = &sched.prerot[l * p..(l + 1) * p];
+            let mid_row = &mut mid[l * p..(l + 1) * p];
+            for (bin, slot) in mid_row.iter_mut().enumerate() {
+                let v = crf[sched.rev_p[bin]];
+                let w = match dir {
+                    Direction::Forward => row[bin],
+                    Direction::Inverse => row[bin].conj(),
+                };
+                *slot = v * w; // epoch0_store_addr(l, bin) = bin + P*l
+            }
+        }
+
+        // Epoch 1: P groups of Q points, scattered straight into
+        // natural bin order (store address t + Q*g holds bin g + P*t).
+        for g in 0..p {
+            for (l, slot) in crf.iter_mut().take(q).enumerate() {
+                *slot = mid[g + p * l];
+            }
+            run_group_compiled(&mut crf[..q], &sched.q_group, dir, self.scaling);
+            for t in 0..q {
+                output[g + p * t] = crf[sched.rev_q[t]];
+            }
+        }
+        Ok(())
     }
 
     /// Reorders a hardware-layout result into natural bin order.
@@ -198,6 +362,50 @@ impl<T: Scalar> ArrayFft<T> {
             out[transposed_to_natural_bin(&self.split, addr)] = v;
         }
         out
+    }
+}
+
+/// Both epochs of the array schedule over caller-provided buffers.
+/// `natural_order` selects the epoch-1 store mapping: the raw hardware
+/// layout (`AO1` addresses), or the fused scatter into natural bin
+/// order (one store pass instead of store-then-reorder).
+#[allow(clippy::too_many_arguments)]
+fn run_epochs<T: Scalar>(
+    s: &Split,
+    rom: &CoefRom<T>,
+    prerot: &PrerotTable<T>,
+    scaling: Scaling,
+    input: &[Complex<T>],
+    out: &mut [Complex<T>],
+    mid: &mut [Complex<T>],
+    crf: &mut [Complex<T>],
+    dir: Direction,
+    natural_order: bool,
+) {
+    // Epoch 0: Q groups of P points.
+    for l in 0..s.q_size {
+        for m in 0..s.p_size {
+            crf[m] = input[epoch0_load_addr(s, l, m)];
+        }
+        run_group(crf, rom, s.p_size, dir, scaling);
+        for bin in 0..s.p_size {
+            let v = crf[bit_reverse(bin, s.p_stages)];
+            let w = prerot.coefficient_dir(prerot_exponent(s, l, bin), dir);
+            mid[epoch0_store_addr(s, l, bin)] = v * w;
+        }
+    }
+
+    // Epoch 1: P groups of Q points.
+    for g in 0..s.p_size {
+        for l in 0..s.q_size {
+            crf[l] = mid[epoch1_load_addr(s, g, l)];
+        }
+        run_group(crf, rom, s.q_size, dir, scaling);
+        for t in 0..s.q_size {
+            let addr = epoch1_store_addr(s, g, t);
+            let slot = if natural_order { transposed_to_natural_bin(s, addr) } else { addr };
+            out[slot] = crf[bit_reverse(t, s.q_stages)];
+        }
     }
 }
 
@@ -250,6 +458,32 @@ mod tests {
     }
 
     #[test]
+    fn process_into_is_bit_identical_to_process() {
+        // The compiled hot-path schedule replays exactly the symbolic
+        // address algebra: same butterflies, same coefficients, same
+        // order — the outputs must match bit for bit, not just within
+        // tolerance.
+        for n in [64usize, 128, 512, 2048] {
+            let mut fft: ArrayFft<f64> = ArrayFft::new(n).unwrap();
+            let x = random_signal(n, 77 + n as u64);
+            let mut out = vec![Complex::zero(); n];
+            for dir in [Direction::Forward, Direction::Inverse] {
+                let want = fft.process(&x, dir).unwrap();
+                fft.process_into(&x, &mut out, dir).unwrap();
+                assert_eq!(want, out, "n={n} {dir:?}");
+            }
+        }
+        // Output length is checked like the input's.
+        let mut fft: ArrayFft<f64> = ArrayFft::new(64).unwrap();
+        let x = random_signal(64, 1);
+        let mut short = vec![Complex::zero(); 32];
+        assert!(matches!(
+            fft.process_into(&x, &mut short, Direction::Forward),
+            Err(FftError::LengthMismatch { expected: 64, got: 32 })
+        ));
+    }
+
+    #[test]
     fn inverse_round_trip() {
         let n = 256;
         let fft: ArrayFft<f64> = ArrayFft::new(n).unwrap();
@@ -268,6 +502,18 @@ mod tests {
         let want = dft_naive(&x, Direction::Forward).unwrap();
         let got = fft.process(&x, Direction::Forward).unwrap();
         assert!(max_error(&got, &want) < 1e-7);
+    }
+
+    #[test]
+    fn wide_epoch1_split_is_rejected_at_plan_time() {
+        // Q > P passes Split::with_factors (both groups are legal
+        // sizes) but the P-sized coefficient ROM cannot serve the
+        // epoch-1 group: the plan must error, not panic later.
+        let split = Split::with_factors(512, 8, 64).unwrap();
+        assert!(matches!(
+            ArrayFft::<f64>::with_split(split, Scaling::None),
+            Err(FftError::InvalidDecomposition { .. })
+        ));
     }
 
     #[test]

@@ -42,6 +42,22 @@ pub struct CachedFftOutput {
     pub traffic: MemTraffic,
 }
 
+/// Reusable work buffers for [`cached_fft_into`]: the inter-epoch
+/// staging array and the cache (CRF-ancestor) group buffer. One scratch
+/// set serves any number of transforms of any supported size.
+#[derive(Debug, Clone, Default)]
+pub struct CachedFftScratch {
+    mid: Vec<C64>,
+    cache: Vec<C64>,
+}
+
+impl CachedFftScratch {
+    /// An empty scratch set; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Runs the two-epoch cached FFT of Baas over `f64`.
 ///
 /// Functionally identical to the array FFT; structurally it uses plain
@@ -49,20 +65,48 @@ pub struct CachedFftOutput {
 /// memory traffic: `2N` loads and `2N` stores (one load + store per
 /// point per epoch), versus `N log2 N` each for the plain FFT.
 ///
+/// This is the allocating path; steady-state callers should reuse
+/// buffers through [`cached_fft_into`].
+///
 /// # Errors
 ///
 /// Returns [`FftError`] for invalid sizes or mismatched input length.
 pub fn cached_fft(input: &[C64], dir: Direction) -> Result<CachedFftOutput, FftError> {
+    let mut bins = vec![Complex::zero(); input.len()];
+    let mut scratch = CachedFftScratch::new();
+    let traffic = cached_fft_into(input, &mut bins, dir, &mut scratch)?;
+    Ok(CachedFftOutput { bins, traffic })
+}
+
+/// The allocation-free primitive behind [`cached_fft`]: writes the
+/// natural-order spectrum into `output`, reusing the caller's
+/// [`CachedFftScratch`] (no heap work once the scratch is warm).
+///
+/// # Errors
+///
+/// Returns [`FftError`] for invalid sizes, or
+/// [`FftError::LengthMismatch`] when `output.len() != input.len()`.
+pub fn cached_fft_into(
+    input: &[C64],
+    output: &mut [C64],
+    dir: Direction,
+    scratch: &mut CachedFftScratch,
+) -> Result<MemTraffic, FftError> {
     let split = Split::for_size(input.len())?;
     let s = &split;
+    if output.len() != s.n {
+        return Err(FftError::LengthMismatch { expected: s.n, got: output.len() });
+    }
     let mut traffic = MemTraffic::default();
-    let mut mid = vec![Complex::zero(); s.n];
-    let mut out = vec![Complex::zero(); s.n];
-    let mut cache = vec![Complex::zero(); s.p_size];
+    scratch.mid.resize(s.n, Complex::zero());
+    scratch.cache.resize(s.p_size.max(s.q_size), Complex::zero());
+    let mid = &mut scratch.mid;
+    let cache = &mut scratch.cache;
+    let out = output;
 
     // Epoch 0.
     for l in 0..s.q_size {
-        for (m, slot) in cache.iter_mut().enumerate() {
+        for (m, slot) in cache.iter_mut().take(s.p_size).enumerate() {
             *slot = input[l + s.q_size * m];
             traffic.loads += 1;
         }
@@ -88,7 +132,7 @@ pub fn cached_fft(input: &[C64], dir: Direction) -> Result<CachedFftOutput, FftE
             traffic.stores += 1;
         }
     }
-    Ok(CachedFftOutput { bins: out, traffic })
+    Ok(traffic)
 }
 
 /// Memory traffic of the *plain* in-place FFT under the same accounting

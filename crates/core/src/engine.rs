@@ -10,13 +10,27 @@
 //!
 //! # Contract
 //!
-//! For a length-`N` engine, `execute(x, Direction::Forward)` returns the
-//! *unnormalised* DFT `X(k) = sum_m x(m) W_N^{km}` in natural bin order,
-//! and `execute(x, Direction::Inverse)` the unnormalised conjugate sum,
-//! so `execute(execute(x, Forward), Inverse) == N * x` for every engine.
-//! Backends that scale internally (e.g. the per-stage-halving Q15
-//! datapath) rescale to meet this contract; their [`FftEngine::tolerance`]
-//! reports the expected deviation relative to the spectrum peak.
+//! For a length-`N` engine, the execution **primitive** is
+//! [`FftEngine::execute_into`]: it writes the *unnormalised* DFT
+//! `X(k) = sum_m x(m) W_N^{km}` (or, for `Direction::Inverse`, the
+//! unnormalised conjugate sum) in natural bin order into a
+//! caller-provided `N`-point output buffer, so
+//! `Inverse(Forward(x)) == N * x` for every engine. Backends that scale
+//! internally (e.g. the per-stage-halving Q15 datapath) rescale to meet
+//! this contract; their [`FftEngine::tolerance`] reports the expected
+//! deviation relative to the spectrum peak.
+//!
+//! # Zero-allocation execution
+//!
+//! `execute_into` takes `&mut self` because every backend owns its
+//! scratch buffers (the FFTW plan idiom): the first call sizes them,
+//! every later call reuses them, so steady-state traffic does **zero
+//! heap work per transform** — the caller brings the output, the engine
+//! brings the scratch. [`FftEngine::execute`] is a provided convenience
+//! wrapper that allocates one output buffer and delegates; the two
+//! paths are bit-identical. Input and output never alias (enforced by
+//! the borrow checker), and on error the output buffer's contents are
+//! unspecified.
 //!
 //! # Examples
 //!
@@ -25,26 +39,29 @@
 //! use afft_core::Direction;
 //! use afft_num::Complex;
 //!
-//! let registry = EngineRegistry::standard(64)?;
+//! let mut registry = EngineRegistry::standard(64)?;
 //! assert!(registry.len() >= 5);
 //! let x = vec![Complex::new(1.0, 0.0); 64];
-//! for engine in registry.engines() {
-//!     let spectrum = engine.execute(&x, Direction::Forward)?;
+//! // One reusable output buffer serves every engine: no per-transform
+//! // allocation anywhere in the loop.
+//! let mut spectrum = vec![Complex::zero(); 64];
+//! for engine in registry.engines_mut() {
+//!     engine.execute_into(&x, &mut spectrum, Direction::Forward)?;
 //!     assert!((spectrum[0].re - 64.0).abs() < 1e-6, "{}", engine.name());
 //! }
 //! # Ok::<(), afft_core::FftError>(())
 //! ```
 
 use crate::array::ArrayFft;
-use crate::cached::{cached_fft, plain_fft_traffic, MemTraffic};
+use crate::cached::{cached_fft_into, plain_fft_traffic, CachedFftScratch, MemTraffic};
 use crate::error::FftError;
-use crate::mcfft::{mcfft, Epochs};
+use crate::mcfft::{mcfft_into, Epochs, McfftScratch};
 use crate::plan::Split;
 use crate::realfft::RealFft;
 use crate::reference::{
-    bit_reverse_permute, dft_naive, fft_radix2_dif_f64, fft_radix2_dit_f64, Direction,
+    bit_reverse_permute, dft_naive_into, fft_radix2_dif_f64, fft_radix2_dit_f64, Direction,
 };
-use afft_num::C64;
+use afft_num::{Complex, C64};
 
 /// A uniform interface over every FFT backend in the workspace.
 ///
@@ -62,14 +79,37 @@ pub trait FftEngine {
         self.len() == 0
     }
 
-    /// Runs the transform. Input length must equal [`FftEngine::len`].
+    /// The execution primitive: runs the transform into a
+    /// caller-provided output buffer, reusing engine-owned scratch.
+    /// Input and output length must both equal [`FftEngine::len`];
+    /// after the engine's first transform this performs no heap
+    /// allocation. On error the output contents are unspecified.
     ///
     /// # Errors
     ///
-    /// Returns [`FftError::LengthMismatch`] for wrong input lengths, or
-    /// a backend-specific error ([`FftError::Backend`]) when the
-    /// execution substrate fails.
-    fn execute(&self, input: &[C64], dir: Direction) -> Result<Vec<C64>, FftError>;
+    /// Returns [`FftError::LengthMismatch`] for wrong input or output
+    /// lengths, or a backend-specific error ([`FftError::Backend`])
+    /// when the execution substrate fails.
+    fn execute_into(
+        &mut self,
+        input: &[C64],
+        output: &mut [C64],
+        dir: Direction,
+    ) -> Result<(), FftError>;
+
+    /// Convenience wrapper over [`FftEngine::execute_into`]: allocates
+    /// one output buffer and delegates. Bit-identical to the `_into`
+    /// path; steady-state callers should prefer the primitive and
+    /// reuse their own buffer.
+    ///
+    /// # Errors
+    ///
+    /// As [`FftEngine::execute_into`].
+    fn execute(&mut self, input: &[C64], dir: Direction) -> Result<Vec<C64>, FftError> {
+        let mut output = vec![Complex::zero(); self.len()];
+        self.execute_into(input, &mut output, dir)?;
+        Ok(output)
+    }
 
     /// Main-memory traffic of one transform in complex points, where
     /// the backend models it (`None` for pure math backends).
@@ -89,9 +129,20 @@ pub trait FftEngine {
     }
 }
 
-fn check_len(engine: &dyn FftEngine, input: &[C64]) -> Result<(), FftError> {
-    if input.len() != engine.len() {
-        return Err(FftError::LengthMismatch { expected: engine.len(), got: input.len() });
+/// Validates an [`FftEngine::execute_into`] buffer pair against the
+/// engine's planned size — the one length-check shared by every
+/// backend, in this crate and out-of-crate adapters alike.
+///
+/// # Errors
+///
+/// Returns [`FftError::LengthMismatch`] if either buffer is not `n`
+/// points.
+pub fn check_io(n: usize, input: &[C64], output: &[C64]) -> Result<(), FftError> {
+    if input.len() != n {
+        return Err(FftError::LengthMismatch { expected: n, got: input.len() });
+    }
+    if output.len() != n {
+        return Err(FftError::LengthMismatch { expected: n, got: output.len() });
     }
     Ok(())
 }
@@ -125,9 +176,14 @@ impl FftEngine for NaiveDftEngine {
         self.n
     }
 
-    fn execute(&self, input: &[C64], dir: Direction) -> Result<Vec<C64>, FftError> {
-        check_len(self, input)?;
-        dft_naive(input, dir)
+    fn execute_into(
+        &mut self,
+        input: &[C64],
+        output: &mut [C64],
+        dir: Direction,
+    ) -> Result<(), FftError> {
+        check_io(self.n, input, output)?;
+        dft_naive_into(input, output, dir)
     }
 
     fn traffic(&self) -> Option<MemTraffic> {
@@ -162,11 +218,15 @@ impl FftEngine for Radix2DitEngine {
         self.n
     }
 
-    fn execute(&self, input: &[C64], dir: Direction) -> Result<Vec<C64>, FftError> {
-        check_len(self, input)?;
-        let mut data = input.to_vec();
-        fft_radix2_dit_f64(&mut data, dir)?;
-        Ok(data)
+    fn execute_into(
+        &mut self,
+        input: &[C64],
+        output: &mut [C64],
+        dir: Direction,
+    ) -> Result<(), FftError> {
+        check_io(self.n, input, output)?;
+        output.copy_from_slice(input);
+        fft_radix2_dit_f64(output, dir)
     }
 
     fn traffic(&self) -> Option<MemTraffic> {
@@ -202,12 +262,17 @@ impl FftEngine for Radix2DifEngine {
         self.n
     }
 
-    fn execute(&self, input: &[C64], dir: Direction) -> Result<Vec<C64>, FftError> {
-        check_len(self, input)?;
-        let mut data = input.to_vec();
-        fft_radix2_dif_f64(&mut data, dir)?;
-        bit_reverse_permute(&mut data);
-        Ok(data)
+    fn execute_into(
+        &mut self,
+        input: &[C64],
+        output: &mut [C64],
+        dir: Direction,
+    ) -> Result<(), FftError> {
+        check_io(self.n, input, output)?;
+        output.copy_from_slice(input);
+        fft_radix2_dif_f64(output, dir)?;
+        bit_reverse_permute(output);
+        Ok(())
     }
 
     fn traffic(&self) -> Option<MemTraffic> {
@@ -215,7 +280,9 @@ impl FftEngine for Radix2DifEngine {
     }
 }
 
-/// The array-structured FFT golden model is itself an engine.
+/// The array-structured FFT golden model is itself an engine; its
+/// `_into` path reuses the plan-owned scratch and fuses the natural-
+/// order gather into the epoch-1 store (see [`ArrayFft::process_into`]).
 impl FftEngine for ArrayFft<f64> {
     fn name(&self) -> &str {
         "array_fft"
@@ -225,8 +292,13 @@ impl FftEngine for ArrayFft<f64> {
         ArrayFft::len(self)
     }
 
-    fn execute(&self, input: &[C64], dir: Direction) -> Result<Vec<C64>, FftError> {
-        self.process(input, dir)
+    fn execute_into(
+        &mut self,
+        input: &[C64],
+        output: &mut [C64],
+        dir: Direction,
+    ) -> Result<(), FftError> {
+        self.process_into(input, output, dir)
     }
 
     fn traffic(&self) -> Option<MemTraffic> {
@@ -237,10 +309,12 @@ impl FftEngine for ArrayFft<f64> {
     }
 }
 
-/// Baas's two-epoch cached FFT as an engine.
-#[derive(Debug, Clone, Copy)]
+/// Baas's two-epoch cached FFT as an engine (with engine-owned
+/// staging/cache scratch for the allocation-free path).
+#[derive(Debug, Clone)]
 pub struct CachedFftEngine {
     n: usize,
+    scratch: CachedFftScratch,
 }
 
 impl CachedFftEngine {
@@ -251,7 +325,7 @@ impl CachedFftEngine {
     /// Returns [`FftError::InvalidSize`] otherwise.
     pub fn new(n: usize) -> Result<Self, FftError> {
         Split::for_size(n)?;
-        Ok(CachedFftEngine { n })
+        Ok(CachedFftEngine { n, scratch: CachedFftScratch::new() })
     }
 }
 
@@ -264,9 +338,15 @@ impl FftEngine for CachedFftEngine {
         self.n
     }
 
-    fn execute(&self, input: &[C64], dir: Direction) -> Result<Vec<C64>, FftError> {
-        check_len(self, input)?;
-        Ok(cached_fft(input, dir)?.bins)
+    fn execute_into(
+        &mut self,
+        input: &[C64],
+        output: &mut [C64],
+        dir: Direction,
+    ) -> Result<(), FftError> {
+        check_io(self.n, input, output)?;
+        cached_fft_into(input, output, dir, &mut self.scratch)?;
+        Ok(())
     }
 
     fn traffic(&self) -> Option<MemTraffic> {
@@ -275,10 +355,12 @@ impl FftEngine for CachedFftEngine {
     }
 }
 
-/// The multi-epoch cached FFT (MCFFT) as an engine.
+/// The multi-epoch cached FFT (MCFFT) as an engine (with an
+/// engine-owned scratch arena for the allocation-free path).
 #[derive(Debug, Clone)]
 pub struct McfftEngine {
     epochs: Epochs,
+    scratch: McfftScratch,
 }
 
 impl McfftEngine {
@@ -307,7 +389,7 @@ impl McfftEngine {
     ///
     /// Currently infallible; kept fallible for API symmetry.
     pub fn with_epochs(epochs: Epochs) -> Result<Self, FftError> {
-        Ok(McfftEngine { epochs })
+        Ok(McfftEngine { epochs, scratch: McfftScratch::new() })
     }
 
     /// The epoch decomposition in use.
@@ -325,9 +407,14 @@ impl FftEngine for McfftEngine {
         self.epochs.n()
     }
 
-    fn execute(&self, input: &[C64], dir: Direction) -> Result<Vec<C64>, FftError> {
-        check_len(self, input)?;
-        mcfft(input, &self.epochs, dir)
+    fn execute_into(
+        &mut self,
+        input: &[C64],
+        output: &mut [C64],
+        dir: Direction,
+    ) -> Result<(), FftError> {
+        check_io(self.epochs.n(), input, output)?;
+        mcfft_into(input, output, &self.epochs, dir, &mut self.scratch)
     }
 
     fn traffic(&self) -> Option<MemTraffic> {
@@ -347,6 +434,15 @@ impl FftEngine for McfftEngine {
 #[derive(Debug, Clone)]
 pub struct RealFftEngine {
     rfft: RealFft,
+    // Engine-owned scratch for the allocation-free path: split real
+    // components, unique-bin staging, both expanded spectra, and the
+    // conjugated input of the inverse route.
+    re_scratch: Vec<f64>,
+    im_scratch: Vec<f64>,
+    bins_scratch: Vec<C64>,
+    fr_scratch: Vec<C64>,
+    fi_scratch: Vec<C64>,
+    conj_scratch: Vec<C64>,
 }
 
 impl RealFftEngine {
@@ -357,12 +453,35 @@ impl RealFftEngine {
     ///
     /// Returns [`FftError::InvalidSize`] otherwise.
     pub fn new(n: usize) -> Result<Self, FftError> {
-        Ok(RealFftEngine { rfft: RealFft::new(n)? })
+        Ok(RealFftEngine {
+            rfft: RealFft::new(n)?,
+            re_scratch: Vec::new(),
+            im_scratch: Vec::new(),
+            bins_scratch: Vec::new(),
+            fr_scratch: Vec::new(),
+            fi_scratch: Vec::new(),
+            conj_scratch: Vec::new(),
+        })
     }
 
-    fn full_real_dft(&self, v: &[f64]) -> Result<Vec<C64>, FftError> {
-        let bins = self.rfft.process(v)?;
-        Ok(self.rfft.expand_full(&bins))
+    /// `DFT(re x) -> fr_scratch`, `DFT(im x) -> fi_scratch`, each via
+    /// the packed real path and conjugate-symmetric expansion.
+    fn split_real_dfts(&mut self, input: &[C64]) -> Result<(), FftError> {
+        let n = input.len();
+        self.re_scratch.resize(n, 0.0);
+        self.im_scratch.resize(n, 0.0);
+        for (i, c) in input.iter().enumerate() {
+            self.re_scratch[i] = c.re;
+            self.im_scratch[i] = c.im;
+        }
+        self.bins_scratch.resize(n / 2 + 1, Complex::zero());
+        self.fr_scratch.resize(n, Complex::zero());
+        self.fi_scratch.resize(n, Complex::zero());
+        self.rfft.process_into(&self.re_scratch, &mut self.bins_scratch)?;
+        self.rfft.expand_full_into(&self.bins_scratch, &mut self.fr_scratch);
+        self.rfft.process_into(&self.im_scratch, &mut self.bins_scratch)?;
+        self.rfft.expand_full_into(&self.bins_scratch, &mut self.fi_scratch);
+        Ok(())
     }
 }
 
@@ -375,21 +494,36 @@ impl FftEngine for RealFftEngine {
         self.rfft.len()
     }
 
-    fn execute(&self, input: &[C64], dir: Direction) -> Result<Vec<C64>, FftError> {
-        check_len(self, input)?;
+    fn execute_into(
+        &mut self,
+        input: &[C64],
+        output: &mut [C64],
+        dir: Direction,
+    ) -> Result<(), FftError> {
+        check_io(self.rfft.len(), input, output)?;
         match dir {
+            // DFT(x) = DFT(re x) + i DFT(im x).
             Direction::Forward => {
-                let re: Vec<f64> = input.iter().map(|c| c.re).collect();
-                let im: Vec<f64> = input.iter().map(|c| c.im).collect();
-                let fr = self.full_real_dft(&re)?;
-                let fi = self.full_real_dft(&im)?;
-                Ok(fr.iter().zip(&fi).map(|(&r, &i)| r + i.mul_i()).collect())
+                self.split_real_dfts(input)?;
+                for (k, slot) in output.iter_mut().enumerate() {
+                    *slot = self.fr_scratch[k] + self.fi_scratch[k].mul_i();
+                }
+                Ok(())
             }
             // Unnormalised inverse: conjugate in, forward, conjugate out.
             Direction::Inverse => {
-                let conj: Vec<C64> = input.iter().map(|c| c.conj()).collect();
-                let fwd = self.execute(&conj, Direction::Forward)?;
-                Ok(fwd.iter().map(|c| c.conj()).collect())
+                let mut conj = core::mem::take(&mut self.conj_scratch);
+                conj.resize(input.len(), Complex::zero());
+                for (slot, c) in conj.iter_mut().zip(input) {
+                    *slot = c.conj();
+                }
+                let result = self.execute_into(&conj, output, Direction::Forward);
+                self.conj_scratch = conj;
+                result?;
+                for slot in output.iter_mut() {
+                    *slot = slot.conj();
+                }
+                Ok(())
             }
         }
     }
@@ -468,14 +602,30 @@ impl EngineRegistry {
         self
     }
 
-    /// Iterates the registered engines in registration order.
+    /// Iterates the registered engines in registration order (shared
+    /// view: metadata like [`FftEngine::name`], [`FftEngine::traffic`],
+    /// [`FftEngine::cycles`]). Executing needs [`Self::engines_mut`].
     pub fn engines(&self) -> impl Iterator<Item = &dyn FftEngine> {
         self.engines.iter().map(Box::as_ref)
+    }
+
+    /// Iterates the registered engines mutably — the execution view:
+    /// [`FftEngine::execute_into`] takes `&mut self` because engines
+    /// own their scratch buffers.
+    pub fn engines_mut<'a>(
+        &'a mut self,
+    ) -> impl Iterator<Item = &'a mut (dyn FftEngine + 'static)> + 'a {
+        self.engines.iter_mut().map(Box::as_mut)
     }
 
     /// Looks an engine up by name.
     pub fn get(&self, name: &str) -> Option<&dyn FftEngine> {
         self.engines().find(|e| e.name() == name)
+    }
+
+    /// Looks an engine up by name, mutably (to execute it in place).
+    pub fn get_mut(&mut self, name: &str) -> Option<&mut (dyn FftEngine + 'static)> {
+        self.engines_mut().find(|e| e.name() == name)
     }
 
     /// Removes an engine by name and returns it owned — how a planner
@@ -511,7 +661,7 @@ impl core::fmt::Debug for EngineRegistry {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::reference::max_error;
+    use crate::reference::{dft_naive, max_error};
     use afft_num::Complex;
     use rand::rngs::StdRng;
     use rand::{Rng, SeedableRng};
@@ -555,11 +705,11 @@ mod tests {
     #[test]
     fn all_engines_agree_with_the_naive_dft() {
         for n in [8usize, 64, 256] {
-            let registry = EngineRegistry::standard(n).unwrap();
+            let mut registry = EngineRegistry::standard(n).unwrap();
             let x = random_signal(n, n as u64);
             let want = dft_naive(&x, Direction::Forward).unwrap();
             let peak = want.iter().map(|c| c.abs()).fold(0.0, f64::max);
-            for engine in registry.engines() {
+            for engine in registry.engines_mut() {
                 let got = engine.execute(&x, Direction::Forward).unwrap();
                 let err = max_error(&got, &want) / peak;
                 assert!(err < engine.tolerance(), "{} at n={n}: {err}", engine.name());
@@ -570,9 +720,9 @@ mod tests {
     #[test]
     fn every_engine_round_trips() {
         let n = 64;
-        let registry = EngineRegistry::standard(n).unwrap();
+        let mut registry = EngineRegistry::standard(n).unwrap();
         let x = random_signal(n, 5);
-        for engine in registry.engines() {
+        for engine in registry.engines_mut() {
             let spectrum = engine.execute(&x, Direction::Forward).unwrap();
             let back = engine.execute(&spectrum, Direction::Inverse).unwrap();
             let got: Vec<C64> = back.iter().map(|&v| v * (1.0 / n as f64)).collect();
@@ -585,16 +735,48 @@ mod tests {
     }
 
     #[test]
+    fn execute_into_is_bit_identical_to_execute_and_reuses_the_buffer() {
+        for n in [8usize, 128] {
+            let mut registry = EngineRegistry::standard(n).unwrap();
+            let x = random_signal(n, 21 + n as u64);
+            let y = random_signal(n, 22 + n as u64);
+            let mut out = vec![Complex::zero(); n];
+            for engine in registry.engines_mut() {
+                for dir in [Direction::Forward, Direction::Inverse] {
+                    // Same buffer reused across inputs and directions:
+                    // stale contents must never leak into a result.
+                    for signal in [&x, &y] {
+                        let alloc = engine.execute(signal, dir).unwrap();
+                        engine.execute_into(signal, &mut out, dir).unwrap();
+                        assert_eq!(alloc, out, "{} at n={n} {dir:?}", engine.name());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn length_mismatch_is_uniformly_reported() {
-        let registry = EngineRegistry::standard(64).unwrap();
+        let mut registry = EngineRegistry::standard(64).unwrap();
         let x = random_signal(32, 1);
-        for engine in registry.engines() {
+        let ok = random_signal(64, 2);
+        for engine in registry.engines_mut() {
             assert!(
                 matches!(
                     engine.execute(&x, Direction::Forward),
                     Err(FftError::LengthMismatch { expected: 64, got: 32 })
                 ),
                 "{}",
+                engine.name()
+            );
+            // The output buffer is length-checked too.
+            let mut short = vec![Complex::zero(); 32];
+            assert!(
+                matches!(
+                    engine.execute_into(&ok, &mut short, Direction::Forward),
+                    Err(FftError::LengthMismatch { expected: 64, got: 32 })
+                ),
+                "{} output check",
                 engine.name()
             );
         }
@@ -641,7 +823,7 @@ mod tests {
     #[test]
     fn real_fft_engine_meets_the_complex_contract() {
         let n = 256;
-        let engine = RealFftEngine::new(n).unwrap();
+        let mut engine = RealFftEngine::new(n).unwrap();
         let x = random_signal(n, 9);
         let want = dft_naive(&x, Direction::Forward).unwrap();
         let peak = want.iter().map(|c| c.abs()).fold(0.0, f64::max);

@@ -88,49 +88,116 @@ impl Epochs {
     }
 }
 
+/// Reusable work buffers for [`mcfft_into`]: one arena of per-recursion
+/// level buffers (staging array, epoch group, sub-transform input and
+/// output), lazily sized on first use and stable across transforms, so
+/// a warm scratch set makes every subsequent transform allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct McfftScratch {
+    levels: Vec<Vec<C64>>,
+}
+
+impl McfftScratch {
+    /// An empty scratch arena; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Four buffers per splitting recursion level.
+    fn level_bufs(&mut self, depth: usize) -> &mut [Vec<C64>] {
+        let need = 4 * depth;
+        if self.levels.len() < need {
+            self.levels.resize_with(need, Vec::new);
+        }
+        &mut self.levels[..need]
+    }
+}
+
 /// Runs the multi-epoch cached FFT, returning the spectrum in natural
 /// bin order.
+///
+/// This is the allocating path; steady-state callers should reuse
+/// buffers through [`mcfft_into`].
 ///
 /// # Errors
 ///
 /// Returns [`FftError::LengthMismatch`] if the input length differs
 /// from the decomposition size.
 pub fn mcfft(input: &[C64], epochs: &Epochs, dir: Direction) -> Result<Vec<C64>, FftError> {
+    let mut out = vec![Complex::zero(); epochs.n];
+    let mut scratch = McfftScratch::new();
+    mcfft_into(input, &mut out, epochs, dir, &mut scratch)?;
+    Ok(out)
+}
+
+/// The allocation-free primitive behind [`mcfft`]: writes the
+/// natural-order spectrum into `output`, reusing the caller's
+/// [`McfftScratch`] arena across the recursive epoch decomposition.
+///
+/// # Errors
+///
+/// Returns [`FftError::LengthMismatch`] if `input` or `output` differ
+/// from the decomposition size.
+pub fn mcfft_into(
+    input: &[C64],
+    output: &mut [C64],
+    epochs: &Epochs,
+    dir: Direction,
+    scratch: &mut McfftScratch,
+) -> Result<(), FftError> {
     if input.len() != epochs.n {
         return Err(FftError::LengthMismatch { expected: epochs.n, got: input.len() });
     }
-    four_step(input, &epochs.factors, dir)
+    if output.len() != epochs.n {
+        return Err(FftError::LengthMismatch { expected: epochs.n, got: output.len() });
+    }
+    let depth = epochs.factors.len().saturating_sub(1);
+    four_step_into(input, output, &epochs.factors, dir, scratch.level_bufs(depth))
 }
 
-fn four_step(x: &[C64], factors: &[usize], dir: Direction) -> Result<Vec<C64>, FftError> {
+fn four_step_into(
+    x: &[C64],
+    out: &mut [C64],
+    factors: &[usize],
+    dir: Direction,
+    scratch: &mut [Vec<C64>],
+) -> Result<(), FftError> {
     let n = x.len();
     if factors.len() == 1 {
-        let mut data = x.to_vec();
-        fft_radix2_dit_f64(&mut data, dir)?;
-        return Ok(data);
+        out.copy_from_slice(x);
+        return fft_radix2_dit_f64(out, dir);
     }
     let p = factors[0];
     let r = n / p;
-    let mut mid = vec![Complex::zero(); n];
+    let (mine, deeper) = scratch.split_at_mut(4);
+    let [mid, group, sub_in, sub_out] = mine else { unreachable!("split_at_mut(4)") };
+    mid.resize(n, Complex::zero());
+    group.resize(p, Complex::zero());
+    sub_in.resize(r, Complex::zero());
+    sub_out.resize(r, Complex::zero());
+
     // Epoch: P-point FFT over each residue class, then pre-rotation.
     for l in 0..r {
-        let mut group: Vec<C64> = (0..p).map(|m| x[l + r * m]).collect();
-        fft_radix2_dit_f64(&mut group, dir)?;
-        for (s, &z) in group.iter().enumerate() {
+        for (m, slot) in group.iter_mut().take(p).enumerate() {
+            *slot = x[l + r * m];
+        }
+        fft_radix2_dit_f64(&mut group[..p], dir)?;
+        for (s, &z) in group.iter().take(p).enumerate() {
             let w = dir.twiddle(n, (s * l) % n);
             mid[s + p * l] = z * w;
         }
     }
     // Remaining epochs: recursive R-point transforms.
-    let mut out = vec![Complex::zero(); n];
     for s in 0..p {
-        let group: Vec<C64> = (0..r).map(|l| mid[s + p * l]).collect();
-        let y = four_step(&group, &factors[1..], dir)?;
-        for (t, &v) in y.iter().enumerate() {
+        for (l, slot) in sub_in.iter_mut().take(r).enumerate() {
+            *slot = mid[s + p * l];
+        }
+        four_step_into(&sub_in[..r], &mut sub_out[..r], &factors[1..], dir, deeper)?;
+        for (t, &v) in sub_out.iter().take(r).enumerate() {
             out[s + p * t] = v;
         }
     }
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]

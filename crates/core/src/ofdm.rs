@@ -38,12 +38,17 @@ pub fn qpsk_demap(symbols: &[C64]) -> Vec<(bool, bool)> {
 /// (see the `afft_planner` crate), so the modem runs on the winning
 /// engine without per-symbol dispatch.
 ///
+/// The modem owns a persistent time-domain work buffer (plus the
+/// engine's own scratch), so the `_into` variants
+/// ([`Ofdm::modulate_into`] / [`Ofdm::demodulate_into`]) process a
+/// steady symbol stream with **zero heap allocation per symbol**.
+///
 /// # Examples
 ///
 /// ```
 /// use afft_core::ofdm::{Ofdm, qpsk_map, qpsk_demap};
 ///
-/// let ofdm = Ofdm::new(128, 32)?;
+/// let mut ofdm = Ofdm::new(128, 32)?;
 /// let bits: Vec<(bool, bool)> = (0..128).map(|i| (i % 2 == 0, i % 3 == 0)).collect();
 /// let tx = ofdm.modulate(&qpsk_map(&bits))?;
 /// assert_eq!(tx.len(), 160); // N + CP
@@ -54,6 +59,9 @@ pub fn qpsk_demap(symbols: &[C64]) -> Vec<(bool, bool)> {
 pub struct Ofdm {
     engine: Box<dyn FftEngine>,
     cp: usize,
+    // Persistent IFFT output staging for the modulator: reused across
+    // symbols so the zero-allocation path never touches the heap.
+    work: Vec<C64>,
 }
 
 impl core::fmt::Debug for Ofdm {
@@ -92,7 +100,8 @@ impl Ofdm {
                 reason: format!("cyclic prefix {cp} must be shorter than the symbol {n}"),
             });
         }
-        Ok(Ofdm { engine, cp })
+        let work = vec![Complex::zero(); n];
+        Ok(Ofdm { engine, cp, work })
     }
 
     /// The FFT backend the modem runs on.
@@ -118,36 +127,73 @@ impl Ofdm {
     /// Modulates one symbol: IFFT of the subcarrier values (normalised
     /// by `1/N`) with the cyclic prefix prepended.
     ///
+    /// Allocates the returned symbol; the transform itself reuses the
+    /// modem's persistent work buffer (see [`Ofdm::modulate_into`]).
+    ///
     /// # Errors
     ///
     /// Returns [`FftError::LengthMismatch`] if `subcarriers.len() != N`.
-    pub fn modulate(&self, subcarriers: &[C64]) -> Result<Vec<C64>, FftError> {
-        let n = self.engine.len();
-        let time: Vec<C64> = self
-            .engine
-            .execute(subcarriers, Direction::Inverse)?
-            .iter()
-            .map(|&v| v * (1.0 / n as f64))
-            .collect();
-        let mut out = Vec::with_capacity(n + self.cp);
-        out.extend_from_slice(&time[n - self.cp..]);
-        out.extend_from_slice(&time);
+    pub fn modulate(&mut self, subcarriers: &[C64]) -> Result<Vec<C64>, FftError> {
+        let mut out = vec![Complex::zero(); self.symbol_len()];
+        self.modulate_into(subcarriers, &mut out)?;
         Ok(out)
+    }
+
+    /// The allocation-free modulator: writes the `N + CP`-sample symbol
+    /// into `out`, running the IFFT into the modem's persistent work
+    /// buffer (no heap work per symbol once the engine scratch is warm).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] if `subcarriers.len() != N`
+    /// or `out.len() != N + CP`.
+    pub fn modulate_into(&mut self, subcarriers: &[C64], out: &mut [C64]) -> Result<(), FftError> {
+        let n = self.engine.len();
+        if out.len() != n + self.cp {
+            return Err(FftError::LengthMismatch { expected: n + self.cp, got: out.len() });
+        }
+        self.engine.execute_into(subcarriers, &mut self.work, Direction::Inverse)?;
+        let scale = 1.0 / n as f64;
+        let (prefix, body) = out.split_at_mut(self.cp);
+        for (slot, &v) in prefix.iter_mut().zip(&self.work[n - self.cp..]) {
+            *slot = v * scale;
+        }
+        for (slot, &v) in body.iter_mut().zip(&self.work) {
+            *slot = v * scale;
+        }
+        Ok(())
     }
 
     /// Demodulates one received symbol: strips the cyclic prefix and
     /// runs the forward FFT.
     ///
+    /// Allocates the returned spectrum; steady-state receivers should
+    /// use [`Ofdm::demodulate_into`].
+    ///
     /// # Errors
     ///
     /// Returns [`FftError::LengthMismatch`] if the input is not
     /// `N + CP` samples.
-    pub fn demodulate(&self, samples: &[C64]) -> Result<Vec<C64>, FftError> {
+    pub fn demodulate(&mut self, samples: &[C64]) -> Result<Vec<C64>, FftError> {
+        let mut out = vec![Complex::zero(); self.engine.len()];
+        self.demodulate_into(samples, &mut out)?;
+        Ok(out)
+    }
+
+    /// The allocation-free demodulator: strips the cyclic prefix and
+    /// runs the forward FFT straight into the caller's `N`-point
+    /// buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] if the input is not
+    /// `N + CP` samples or `out` is not `N` points.
+    pub fn demodulate_into(&mut self, samples: &[C64], out: &mut [C64]) -> Result<(), FftError> {
         let n = self.engine.len();
         if samples.len() != n + self.cp {
             return Err(FftError::LengthMismatch { expected: n + self.cp, got: samples.len() });
         }
-        self.engine.execute(&samples[self.cp..], Direction::Forward)
+        self.engine.execute_into(&samples[self.cp..], out, Direction::Forward)
     }
 
     /// Single-tap zero-forcing equalisation: divides each subcarrier by
@@ -199,7 +245,7 @@ mod tests {
 
     #[test]
     fn clean_channel_roundtrip() {
-        let ofdm = Ofdm::new(128, 32).unwrap();
+        let mut ofdm = Ofdm::new(128, 32).unwrap();
         let bits = random_bits(128, 1);
         let tx = ofdm.modulate(&qpsk_map(&bits)).unwrap();
         let rx = ofdm.demodulate(&tx).unwrap();
@@ -208,14 +254,14 @@ mod tests {
 
     #[test]
     fn multipath_within_cp_is_equalizable() {
-        let ofdm = Ofdm::new(256, 64).unwrap();
+        let mut ofdm = Ofdm::new(256, 64).unwrap();
         // A 3-tap channel shorter than the CP.
         let taps = vec![Complex::new(1.0, 0.0), Complex::new(0.4, -0.2), Complex::new(-0.1, 0.15)];
         // Channel estimation from a known pilot.
         let pilot_bits = random_bits(256, 2);
         let pilot = qpsk_map(&pilot_bits);
-        let rx_pilot =
-            ofdm.demodulate(&apply_fir_channel(&ofdm.modulate(&pilot).unwrap(), &taps)).unwrap();
+        let tx_pilot = ofdm.modulate(&pilot).unwrap();
+        let rx_pilot = ofdm.demodulate(&apply_fir_channel(&tx_pilot, &taps)).unwrap();
         let channel: Vec<C64> = rx_pilot
             .iter()
             .zip(&pilot)
@@ -223,9 +269,8 @@ mod tests {
             .collect();
         // Data symbol through the same channel.
         let bits = random_bits(256, 3);
-        let rx = ofdm
-            .demodulate(&apply_fir_channel(&ofdm.modulate(&qpsk_map(&bits)).unwrap(), &taps))
-            .unwrap();
+        let tx = ofdm.modulate(&qpsk_map(&bits)).unwrap();
+        let rx = ofdm.demodulate(&apply_fir_channel(&tx, &taps)).unwrap();
         let eq = ofdm.equalize(&rx, &channel);
         assert_eq!(qpsk_demap(&eq), bits, "multipath must equalise cleanly");
     }
@@ -235,27 +280,26 @@ mod tests {
         // A pure 5-sample delay within the CP only rotates subcarriers;
         // QPSK survives after equalisation but raw demap of a delayed
         // frame (without eq) would fail — check the equalised path.
-        let ofdm = Ofdm::new(128, 16).unwrap();
+        let mut ofdm = Ofdm::new(128, 16).unwrap();
         let mut taps = vec![Complex::zero(); 6];
         taps[5] = Complex::new(1.0, 0.0);
         let pilot = qpsk_map(&random_bits(128, 4));
-        let rx_pilot =
-            ofdm.demodulate(&apply_fir_channel(&ofdm.modulate(&pilot).unwrap(), &taps)).unwrap();
+        let tx_pilot = ofdm.modulate(&pilot).unwrap();
+        let rx_pilot = ofdm.demodulate(&apply_fir_channel(&tx_pilot, &taps)).unwrap();
         let channel: Vec<C64> = rx_pilot
             .iter()
             .zip(&pilot)
             .map(|(&y, &x)| y * x.conj() * (1.0 / x.norm_sqr()))
             .collect();
         let bits = random_bits(128, 5);
-        let rx = ofdm
-            .demodulate(&apply_fir_channel(&ofdm.modulate(&qpsk_map(&bits)).unwrap(), &taps))
-            .unwrap();
+        let tx = ofdm.modulate(&qpsk_map(&bits)).unwrap();
+        let rx = ofdm.demodulate(&apply_fir_channel(&tx, &taps)).unwrap();
         assert_eq!(qpsk_demap(&ofdm.equalize(&rx, &channel)), bits);
     }
 
     #[test]
     fn geometry_accessors_and_validation() {
-        let ofdm = Ofdm::new(128, 32).unwrap();
+        let mut ofdm = Ofdm::new(128, 32).unwrap();
         assert_eq!(ofdm.subcarriers(), 128);
         assert_eq!(ofdm.cyclic_prefix(), 32);
         assert_eq!(ofdm.symbol_len(), 160);
@@ -273,7 +317,7 @@ mod tests {
     #[test]
     fn planned_engine_backend_demodulates_like_the_default() {
         let mut registry = crate::engine::EngineRegistry::standard(128).unwrap();
-        let ofdm = Ofdm::with_engine(registry.take("radix2_dit").unwrap(), 32).unwrap();
+        let mut ofdm = Ofdm::with_engine(registry.take("radix2_dit").unwrap(), 32).unwrap();
         assert_eq!(ofdm.engine().name(), "radix2_dit");
         assert_eq!(format!("{ofdm:?}"), "Ofdm { engine: \"radix2_dit\", n: 128, cp: 32 }");
         let bits = random_bits(128, 9);

@@ -31,6 +31,10 @@ use afft_num::{twiddle, Complex, C64};
 pub struct RealFft {
     inner: ArrayFft<f64>,
     len: usize,
+    // Reusable buffers for the allocation-free path: the packed
+    // even/odd complex signal and the inner transform's output.
+    packed_scratch: Vec<C64>,
+    z_scratch: Vec<C64>,
 }
 
 impl RealFft {
@@ -45,7 +49,12 @@ impl RealFft {
         if !len.is_multiple_of(2) {
             return Err(FftError::InvalidSize { n: len, reason: "real FFT length must be even" });
         }
-        Ok(RealFft { inner: ArrayFft::new(len / 2)?, len })
+        Ok(RealFft {
+            inner: ArrayFft::new(len / 2)?,
+            len,
+            packed_scratch: Vec::new(),
+            z_scratch: Vec::new(),
+        })
     }
 
     /// Transform size (`2N`).
@@ -74,18 +83,35 @@ impl RealFft {
         let packed: Vec<C64> =
             (0..n).map(|m| Complex::new(input[2 * m], input[2 * m + 1])).collect();
         let z = self.inner.process(&packed, Direction::Forward)?;
-
-        // Unscramble: X[k] = E[k] + W_{2N}^k O[k], where
-        // E[k] = (Z[k] + conj(Z[N-k]))/2, O[k] = -i(Z[k] - conj(Z[N-k]))/2.
-        let mut out = Vec::with_capacity(n + 1);
-        for k in 0..=n {
-            let zk = if k == n { z[0] } else { z[k] };
-            let zc = if k == 0 { z[0].conj() } else { z[n - k].conj() };
-            let e = (zk + zc) * 0.5;
-            let o = (zk - zc).mul_neg_i() * 0.5;
-            out.push(e + o * twiddle(2 * n, k));
-        }
+        let mut out = vec![Complex::zero(); n + 1];
+        unscramble(&z, &mut out);
         Ok(out)
+    }
+
+    /// The allocation-free variant of [`RealFft::process`]: writes the
+    /// `N+1` unique bins into `output`, reusing plan-owned packing and
+    /// transform scratch (no heap work once the scratch is warm).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] if `input.len() != len` or
+    /// `output.len() != len/2 + 1`.
+    pub fn process_into(&mut self, input: &[f64], output: &mut [C64]) -> Result<(), FftError> {
+        if input.len() != self.len {
+            return Err(FftError::LengthMismatch { expected: self.len, got: input.len() });
+        }
+        let n = self.len / 2;
+        if output.len() != n + 1 {
+            return Err(FftError::LengthMismatch { expected: n + 1, got: output.len() });
+        }
+        self.packed_scratch.resize(n, Complex::zero());
+        self.z_scratch.resize(n, Complex::zero());
+        for (m, slot) in self.packed_scratch.iter_mut().enumerate() {
+            *slot = Complex::new(input[2 * m], input[2 * m + 1]);
+        }
+        self.inner.process_into(&self.packed_scratch, &mut self.z_scratch, Direction::Forward)?;
+        unscramble(&self.z_scratch, output);
+        Ok(())
     }
 
     /// Expands the unique bins into the full `2N`-point spectrum using
@@ -95,14 +121,39 @@ impl RealFft {
     ///
     /// Panics if `bins.len() != len/2 + 1`.
     pub fn expand_full(&self, bins: &[C64]) -> Vec<C64> {
+        let mut full = vec![Complex::zero(); self.len];
+        self.expand_full_into(bins, &mut full);
+        full
+    }
+
+    /// [`RealFft::expand_full`] into a caller-provided `2N`-point
+    /// buffer (no allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins.len() != len/2 + 1` or `full.len() != len`.
+    pub fn expand_full_into(&self, bins: &[C64], full: &mut [C64]) {
         let n = self.len / 2;
         assert_eq!(bins.len(), n + 1, "expand_full: need N+1 unique bins");
-        let mut full = Vec::with_capacity(self.len);
-        full.extend_from_slice(bins);
-        for k in (1..n).rev() {
-            full.push(bins[k].conj());
+        assert_eq!(full.len(), self.len, "expand_full: need a 2N-point output");
+        full[..=n].copy_from_slice(bins);
+        for k in 1..n {
+            full[2 * n - k] = bins[k].conj();
         }
-        full
+    }
+}
+
+/// The conjugate-symmetric post-butterfly: `X[k] = E[k] + W_{2N}^k
+/// O[k]`, where `E[k] = (Z[k] + conj(Z[N-k]))/2` and `O[k] = -i(Z[k] -
+/// conj(Z[N-k]))/2`, for the `N+1` unique bins.
+fn unscramble(z: &[C64], out: &mut [C64]) {
+    let n = z.len();
+    for (k, slot) in out.iter_mut().enumerate() {
+        let zk = if k == n { z[0] } else { z[k] };
+        let zc = if k == 0 { z[0].conj() } else { z[n - k].conj() };
+        let e = (zk + zc) * 0.5;
+        let o = (zk - zc).mul_neg_i() * 0.5;
+        *slot = e + o * twiddle(2 * n, k);
     }
 }
 

@@ -57,19 +57,34 @@ impl Direction {
 /// # Ok::<(), afft_core::FftError>(())
 /// ```
 pub fn dft_naive(input: &[C64], dir: Direction) -> Result<Vec<C64>, FftError> {
+    let mut out = vec![Complex::zero(); input.len()];
+    dft_naive_into(input, &mut out, dir)?;
+    Ok(out)
+}
+
+/// Naive `O(N^2)` DFT written into a caller-provided buffer — the
+/// allocation-free primitive behind [`dft_naive`].
+///
+/// # Errors
+///
+/// Returns [`FftError::InvalidSize`] if `input` is empty, or
+/// [`FftError::LengthMismatch`] if `output.len() != input.len()`.
+pub fn dft_naive_into(input: &[C64], output: &mut [C64], dir: Direction) -> Result<(), FftError> {
     let n = input.len();
     if n == 0 {
         return Err(FftError::InvalidSize { n, reason: "empty input" });
     }
-    let mut out = Vec::with_capacity(n);
-    for k in 0..n {
+    if output.len() != n {
+        return Err(FftError::LengthMismatch { expected: n, got: output.len() });
+    }
+    for (k, out) in output.iter_mut().enumerate() {
         let mut acc = Complex::zero();
         for (m, &x) in input.iter().enumerate() {
             acc = acc + x * dir.twiddle(n, (k * m) % n);
         }
-        out.push(acc);
+        *out = acc;
     }
-    Ok(out)
+    Ok(())
 }
 
 /// Permutes `data` into bit-reversed order in place.

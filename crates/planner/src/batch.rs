@@ -69,13 +69,54 @@ impl BatchExecutor {
         self.engine.len() == 0
     }
 
+    /// Preallocates an output batch shaped for this executor:
+    /// `symbols` zeroed `N`-point buffers, ready for the `_into` paths.
+    pub fn alloc_output(&self, symbols: usize) -> Vec<Vec<C64>> {
+        vec![vec![C64::zero(); self.engine.len()]; symbols]
+    }
+
     /// Transforms every symbol in order on the calling thread.
+    ///
+    /// Allocates the returned batch once; the per-symbol transforms
+    /// run through the allocation-free
+    /// [`BatchExecutor::execute_into`].
     ///
     /// # Errors
     ///
     /// Returns the first [`FftError`] any symbol produces.
-    pub fn execute(&self, symbols: &[Vec<C64>], dir: Direction) -> Result<Vec<Vec<C64>>, FftError> {
-        symbols.iter().map(|s| self.engine.execute(s, dir)).collect()
+    pub fn execute(
+        &mut self,
+        symbols: &[Vec<C64>],
+        dir: Direction,
+    ) -> Result<Vec<Vec<C64>>, FftError> {
+        let mut out = self.alloc_output(symbols.len());
+        self.execute_into(symbols, &mut out, dir)?;
+        Ok(out)
+    }
+
+    /// Transforms every symbol in order into a caller-visible
+    /// preallocated output batch (each slot an `N`-point buffer): the
+    /// zero-allocation steady-state path — one engine, one scratch
+    /// set, no heap work per symbol.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::LengthMismatch`] if `out.len() !=
+    /// symbols.len()` (reported as symbol counts) or any buffer is not
+    /// `N` points, and the first [`FftError`] any symbol produces.
+    pub fn execute_into(
+        &mut self,
+        symbols: &[Vec<C64>],
+        out: &mut [Vec<C64>],
+        dir: Direction,
+    ) -> Result<(), FftError> {
+        if out.len() != symbols.len() {
+            return Err(FftError::LengthMismatch { expected: symbols.len(), got: out.len() });
+        }
+        for (symbol, slot) in symbols.iter().zip(out.iter_mut()) {
+            self.engine.execute_into(symbol, slot, dir)?;
+        }
+        Ok(())
     }
 
     /// Transforms the batch on `workers` scoped threads, symbols
@@ -91,37 +132,66 @@ impl BatchExecutor {
     ///
     /// Panics only if a worker thread itself panicked.
     pub fn execute_threaded(
-        &self,
+        &mut self,
         symbols: &[Vec<C64>],
         dir: Direction,
         workers: usize,
     ) -> Result<Vec<Vec<C64>>, FftError> {
+        let mut out = self.alloc_output(symbols.len());
+        self.execute_threaded_into(symbols, &mut out, dir, workers)?;
+        Ok(out)
+    }
+
+    /// The threaded transform into a caller-visible preallocated
+    /// output batch: workers write straight into their contiguous
+    /// shard of `out` — no placeholder rows, no per-symbol allocation
+    /// — and each scoped worker owns one private engine (hence one
+    /// scratch set), so results stay bit-identical to
+    /// [`BatchExecutor::execute_into`].
+    ///
+    /// # Errors
+    ///
+    /// As [`BatchExecutor::execute_into`], from whichever worker hits
+    /// it first.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if a worker thread itself panicked.
+    pub fn execute_threaded_into(
+        &mut self,
+        symbols: &[Vec<C64>],
+        out: &mut [Vec<C64>],
+        dir: Direction,
+        workers: usize,
+    ) -> Result<(), FftError> {
         let workers = workers.min(symbols.len());
         if workers <= 1 {
-            return self.execute(symbols, dir);
+            return self.execute_into(symbols, out, dir);
+        }
+        if out.len() != symbols.len() {
+            return Err(FftError::LengthMismatch { expected: symbols.len(), got: out.len() });
         }
         let chunk = symbols.len().div_ceil(workers);
         let n = self.engine.len();
         let factory = self.factory;
         let name = self.name.as_str();
 
-        let mut out: Vec<Vec<C64>> = vec![Vec::new(); symbols.len()];
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(workers);
             for (shard_in, shard_out) in symbols.chunks(chunk).zip(out.chunks_mut(chunk)) {
                 handles.push(scope.spawn(move || -> Result<(), FftError> {
-                    // A private engine per worker: no shared interior
-                    // state, deterministic per-symbol arithmetic.
-                    let engine = crate::planner::take_engine(factory, n, name)?;
+                    // A private engine (and scratch set) per worker: no
+                    // shared interior state, deterministic per-symbol
+                    // arithmetic.
+                    let mut engine = crate::planner::take_engine(factory, n, name)?;
                     for (symbol, slot) in shard_in.iter().zip(shard_out.iter_mut()) {
-                        *slot = engine.execute(symbol, dir)?;
+                        engine.execute_into(symbol, slot, dir)?;
                     }
                     Ok(())
                 }));
             }
             handles.into_iter().try_for_each(|h| h.join().expect("batch worker panicked"))
-        })?;
-        Ok(out)
+        })
     }
 }
 
@@ -143,7 +213,7 @@ mod tests {
 
     #[test]
     fn threaded_matches_sequential_bit_for_bit() {
-        let exec = BatchExecutor::with_engine_name(128, "radix2_dit", EngineRegistry::standard)
+        let mut exec = BatchExecutor::with_engine_name(128, "radix2_dit", EngineRegistry::standard)
             .expect("executor");
         let symbols = batch(128, 17);
         let seq = exec.execute(&symbols, Direction::Forward).unwrap();
@@ -155,7 +225,8 @@ mod tests {
 
     #[test]
     fn worker_counts_beyond_the_batch_are_clamped() {
-        let exec = BatchExecutor::with_engine_name(64, "mcfft", EngineRegistry::standard).unwrap();
+        let mut exec =
+            BatchExecutor::with_engine_name(64, "mcfft", EngineRegistry::standard).unwrap();
         let symbols = batch(64, 2);
         let out = exec.execute_threaded(&symbols, Direction::Inverse, 16).unwrap();
         assert_eq!(out, exec.execute(&symbols, Direction::Inverse).unwrap());
@@ -164,7 +235,7 @@ mod tests {
 
     #[test]
     fn length_errors_surface_from_workers() {
-        let exec =
+        let mut exec =
             BatchExecutor::with_engine_name(64, "radix2_dif", EngineRegistry::standard).unwrap();
         let mut symbols = batch(64, 8);
         symbols[5] = vec![C64::new(0.0, 0.0); 32];

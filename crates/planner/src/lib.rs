@@ -38,7 +38,7 @@
 //! assert!(replay.from_wisdom);
 //!
 //! // Batch execution on the winning engine, optionally threaded.
-//! let executor = planner.executor(&plan)?;
+//! let mut executor = planner.executor(&plan)?;
 //! let batch = vec![vec![afft_num::Complex::new(1.0, 0.0); 256]; 8];
 //! let spectra = executor.execute_threaded(&batch, afft_core::Direction::Forward, 4)?;
 //! assert_eq!(spectra.len(), 8);

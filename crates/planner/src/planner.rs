@@ -63,8 +63,9 @@ pub struct EngineRank {
     /// for one transform (modeled hardware time on cycle-accurate
     /// backends).
     pub score_ns: f64,
-    /// Best measured wall time of one execute, where the plan was
-    /// measured (`None` for estimates and wisdom replays).
+    /// Best measured wall time of one `execute_into` (allocation-free
+    /// path, preallocated output), where the plan was measured (`None`
+    /// for estimates and wisdom replays).
     pub wall_ns: Option<f64>,
     /// Modeled cycle count, on cycle-accurate backends.
     pub modeled_cycles: Option<u64>,
@@ -209,7 +210,7 @@ impl Planner {
             return Ok(Plan { n, direction, strategy, backends, from_wisdom: true, ranking });
         }
 
-        let registry = match registry {
+        let mut registry = match registry {
             Some(r) => r,
             None => (self.factory)(n)?,
         };
@@ -219,9 +220,13 @@ impl Planner {
             }
             Strategy::Measure => {
                 let signal = calibration_signal(n);
+                // One calibration output serves every engine, allocated
+                // outside the timed loops: the rankings compare the
+                // math, not the host allocator.
+                let mut output = vec![Complex::zero(); n];
                 registry
-                    .engines()
-                    .map(|e| measure_rank(e, &signal, direction, self.reps))
+                    .engines_mut()
+                    .map(|e| measure_rank(e, &signal, &mut output, direction, self.reps))
                     .collect::<Result<Vec<EngineRank>, FftError>>()?
             }
         };
@@ -297,15 +302,19 @@ pub fn calibration_signal(n: usize) -> Vec<C64> {
 }
 
 fn measure_rank(
-    engine: &dyn FftEngine,
+    engine: &mut dyn FftEngine,
     signal: &[C64],
+    output: &mut [C64],
     direction: Direction,
     reps: usize,
 ) -> Result<EngineRank, FftError> {
+    // Warm the engine-owned scratch outside the timed region, so the
+    // first timed rep doesn't pay one-time buffer growth.
+    engine.execute_into(signal, output, direction)?;
     let mut wall_ns = f64::INFINITY;
     for _ in 0..reps {
         let start = Instant::now();
-        engine.execute(signal, direction)?;
+        engine.execute_into(signal, output, direction)?;
         wall_ns = wall_ns.min(start.elapsed().as_nanos() as f64);
     }
     // Cycle-accurate backends rank by modeled hardware time, not by

@@ -210,13 +210,17 @@ impl Wisdom {
         std::fs::write(path, self.serialize())
     }
 
-    /// The conventional wisdom location: `$AFFT_WISDOM` if set, else
-    /// the per-user `$HOME/.afft-wisdom.txt` (the `~/.fftw-wisdom`
-    /// idiom — a world-shared temp path would collide across users),
-    /// falling back to the system temp directory when `HOME` is unset.
+    /// The conventional wisdom location: `$AFFT_WISDOM` if set and
+    /// non-empty (an empty value is treated as unset, the conventional
+    /// `PATH`-style reading — `AFFT_WISDOM= cmd` must not resolve to
+    /// the current directory), else the per-user `$HOME/.afft-wisdom.txt`
+    /// (the `~/.fftw-wisdom` idiom — a world-shared temp path would
+    /// collide across users), falling back to the system temp directory
+    /// when `HOME` is unset.
     pub fn default_path() -> std::path::PathBuf {
-        if let Some(p) = std::env::var_os("AFFT_WISDOM") {
-            return std::path::PathBuf::from(p);
+        match std::env::var_os("AFFT_WISDOM") {
+            Some(p) if !p.is_empty() => return std::path::PathBuf::from(p),
+            _ => {}
         }
         match std::env::var_os("HOME") {
             Some(home) if !home.is_empty() => std::path::Path::new(&home).join(".afft-wisdom.txt"),

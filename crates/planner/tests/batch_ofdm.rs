@@ -14,7 +14,7 @@ const SYMBOLS: usize = 64;
 
 /// 64 modulated OFDM symbols (CP stripped: receiver FFT input).
 fn ofdm_batch() -> Vec<Vec<C64>> {
-    let ofdm = Ofdm::new(N, CP).expect("ofdm");
+    let mut ofdm = Ofdm::new(N, CP).expect("ofdm");
     (0..SYMBOLS)
         .map(|s| {
             let bits: Vec<(bool, bool)> =
@@ -31,7 +31,7 @@ fn threaded_pool_is_bit_identical_on_a_64_symbol_ofdm_batch() {
     let plan = planner.plan(N, Strategy::Measure).expect("measure plan");
     assert_eq!(plan.ranking.len(), EngineRegistry::standard(N).expect("registry").len());
 
-    let executor = planner.executor(&plan).expect("executor");
+    let mut executor = planner.executor(&plan).expect("executor");
     let batch = ofdm_batch();
     let sequential = executor.execute(&batch, Direction::Forward).expect("sequential");
     for workers in [2usize, 4, 7, 64] {
@@ -60,8 +60,8 @@ fn wisdom_replayed_plan_drives_the_same_executor() {
     assert!(replay.from_wisdom);
     assert_eq!(replay.best().name, plan.best().name);
 
-    let a = BatchExecutor::from_plan(&plan, EngineRegistry::standard).expect("exec");
-    let b = revived.executor(&replay).expect("exec from wisdom");
+    let mut a = BatchExecutor::from_plan(&plan, EngineRegistry::standard).expect("exec");
+    let mut b = revived.executor(&replay).expect("exec from wisdom");
     let batch = ofdm_batch();
     assert_eq!(
         a.execute(&batch, Direction::Forward).expect("a"),

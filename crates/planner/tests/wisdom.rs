@@ -38,6 +38,53 @@ fn store_then_load_round_trips_exactly() {
     assert_eq!(Wisdom::parse(&text).serialize(), text);
 }
 
+/// Satellite regression: an **empty** `AFFT_WISDOM` must behave like an
+/// unset one — `AFFT_WISDOM= cmd` must not resolve the wisdom file to
+/// `""` (the current directory). The variable is process-global and
+/// sibling tests read the environment concurrently, so each case
+/// re-executes this test binary as a child with the environment
+/// configured at spawn time; the parent never mutates its own env.
+#[test]
+fn empty_afft_wisdom_env_var_is_treated_as_unset() {
+    // Child mode: report the resolved default path and exit.
+    if std::env::var_os("AFFT_WISDOM_PRINT_DEFAULT_PATH").is_some() {
+        println!("DEFAULT_PATH={}", Wisdom::default_path().display());
+        return;
+    }
+
+    let default_path_with = |env_val: Option<&str>| -> String {
+        let mut cmd = std::process::Command::new(std::env::current_exe().expect("test exe"));
+        cmd.args([
+            "--exact",
+            "empty_afft_wisdom_env_var_is_treated_as_unset",
+            "--nocapture",
+            "--test-threads=1",
+        ]);
+        cmd.env("AFFT_WISDOM_PRINT_DEFAULT_PATH", "1");
+        match env_val {
+            Some(v) => cmd.env("AFFT_WISDOM", v),
+            None => cmd.env_remove("AFFT_WISDOM"),
+        };
+        let out = cmd.output().expect("spawn child test process");
+        assert!(out.status.success(), "child failed: {}", String::from_utf8_lossy(&out.stderr));
+        // With --nocapture the harness prints "test <name> ... " on
+        // the same line, so search within lines rather than at starts.
+        String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .find_map(|l| l.split_once("DEFAULT_PATH=").map(|(_, p)| p.trim().to_string()))
+            .expect("child printed the default path")
+    };
+
+    let explicit = default_path_with(Some("/tmp/explicit-wisdom.txt"));
+    assert_eq!(explicit, "/tmp/explicit-wisdom.txt");
+
+    let empty_var = default_path_with(Some(""));
+    let unset = default_path_with(None);
+    assert!(!empty_var.is_empty(), "empty var must not yield an empty path");
+    assert_eq!(empty_var, unset, "empty AFFT_WISDOM must fall back like an unset one");
+    assert!(unset.contains("afft-wisdom"), "fallback should be the conventional file: {unset}");
+}
+
 #[test]
 fn loading_a_missing_file_yields_empty_wisdom() {
     let w = Wisdom::load("/nonexistent/afft/wisdom.txt").expect("missing file is not an error");

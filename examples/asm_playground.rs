@@ -68,8 +68,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The reference spectrum comes from the engine registry: the naive
     // DFT backend over the same 8 staged points.
-    let registry = EngineRegistry::standard(8)?;
-    let golden = registry.get("dft_naive").expect("reference backend");
+    let mut registry = EngineRegistry::standard(8)?;
+    let golden = registry.get_mut("dft_naive").expect("reference backend");
     let exact_in: Vec<Complex<f64>> = x.iter().map(|q| q.to_c64()).collect();
     let want = golden.execute(&exact_in, Direction::Forward)?;
 

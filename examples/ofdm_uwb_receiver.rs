@@ -47,8 +47,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Transmitter on the golden model; receiver on the planned engine.
-    let tx_ofdm = Ofdm::new(N, CP)?;
-    let rx_ofdm = Ofdm::with_engine(planner.engine(&plan)?, CP)?;
+    let mut tx_ofdm = Ofdm::new(N, CP)?;
+    let mut rx_ofdm = Ofdm::with_engine(planner.engine(&plan)?, CP)?;
 
     let mut tx_bits: Vec<Vec<(bool, bool)>> = Vec::with_capacity(SYMBOLS);
     let mut rx_frames: Vec<Vec<C64>> = Vec::with_capacity(SYMBOLS);
@@ -64,28 +64,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         rx_frames.push(rx);
     }
 
-    // Receiver: demodulate every symbol on the planned backend.
+    // Receiver: demodulate every symbol on the planned backend. The
+    // spectra batch is preallocated once and each symbol demodulates
+    // through the zero-allocation `demodulate_into` path.
     let mut total_cycles = 0u64;
     let mut bit_errors = 0usize;
     let mut total_bits = 0usize;
-    let mut spectra: Vec<Vec<C64>> = Vec::with_capacity(SYMBOLS);
-    for (bits, frame) in tx_bits.iter().zip(&rx_frames) {
-        let bins = rx_ofdm.demodulate(frame)?;
+    let mut spectra: Vec<Vec<C64>> = vec![vec![C64::zero(); N]; SYMBOLS];
+    for ((bits, frame), bins) in tx_bits.iter().zip(&rx_frames).zip(spectra.iter_mut()) {
+        rx_ofdm.demodulate_into(frame, bins)?;
         // Only cycle-accurate backends report cycles; the f64 models
         // demodulate identically but have no cost observable.
         total_cycles += rx_ofdm.engine().cycles().unwrap_or(0);
-        for (decided, &sent) in qpsk_demap(&bins).iter().zip(bits) {
+        for (decided, &sent) in qpsk_demap(bins).iter().zip(bits) {
             total_bits += 2;
             bit_errors += usize::from(decided.0 != sent.0) + usize::from(decided.1 != sent.1);
         }
-        spectra.push(bins);
     }
 
-    // The same frame through the batched executor, threaded: the pool
-    // shards symbols across workers and must be bit-identical.
-    let executor = planner.executor(&plan)?;
+    // The same frame through the batched executor, threaded, into a
+    // caller-owned preallocated output batch: the pool shards symbols
+    // across workers, each writing straight into its shard, and must
+    // be bit-identical to the per-symbol demodulation above.
+    let mut executor = planner.executor(&plan)?;
     let batch: Vec<Vec<C64>> = rx_frames.iter().map(|f| f[CP..].to_vec()).collect();
-    let threaded = executor.execute_threaded(&batch, Direction::Forward, 4)?;
+    let mut threaded = executor.alloc_output(batch.len());
+    executor.execute_threaded_into(&batch, &mut threaded, Direction::Forward, 4)?;
     assert_eq!(threaded, spectra, "threaded batch must match per-symbol demodulation");
     println!("batch: {SYMBOLS} symbols on 4 workers, bit-identical to sequential");
 

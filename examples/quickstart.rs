@@ -3,6 +3,11 @@
 //! the cycle-accurate ASIP simulator — through one polymorphic
 //! interface, comparing results and cost.
 //!
+//! The sweep demonstrates the zero-allocation idiom: one spectrum
+//! buffer is allocated up front and every engine executes into it via
+//! `FftEngine::execute_into`, reusing its own plan-owned scratch — no
+//! heap work per transform anywhere in the loop.
+//!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
@@ -26,13 +31,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
 
     // One registry, every backend: software models plus the simulated
-    // hardware, all behind `FftEngine::execute`.
-    let registry = registry_with_asip(n)?;
+    // hardware, all behind the `FftEngine` execution contract.
+    let mut registry = registry_with_asip(n)?;
     println!("registry at N = {n}: {:?}", registry.names());
     println!();
 
     // The golden reference the others are judged against.
-    let golden = registry.get("dft_naive").expect("golden").execute(&signal, Direction::Forward)?;
+    let golden =
+        registry.get_mut("dft_naive").expect("golden").execute(&signal, Direction::Forward)?;
     let peak = golden.iter().map(|c| c.abs()).fold(0.0f64, f64::max);
 
     println!("tone bins from the golden model (|X[k]|/N > 0.05):");
@@ -48,13 +54,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{:<12} {:>12} {:>14} {:>10} {:>10}",
         "engine", "rel error", "traffic (pts)", "cycles", "ok"
     );
-    for engine in registry.engines() {
+    // Buffer reuse: allocate the spectrum once, outside the loop, and
+    // let every backend write into it (`execute_into` is the engine
+    // primitive; `execute` is a convenience wrapper that allocates).
+    let mut spectrum = vec![Complex::zero(); n];
+    for engine in registry.engines_mut() {
         // The golden reference already ran; don't pay its O(N^2) twice.
-        let spectrum = if engine.name() == "dft_naive" {
-            golden.clone()
+        if engine.name() == "dft_naive" {
+            spectrum.copy_from_slice(&golden);
         } else {
-            engine.execute(&signal, Direction::Forward)?
-        };
+            engine.execute_into(&signal, &mut spectrum, Direction::Forward)?;
+        }
         let err = max_error(&spectrum, &golden) / peak;
         let traffic = engine.traffic().map_or("-".to_string(), |t| t.total().to_string());
         let cycles = engine.cycles().map_or("-".to_string(), |c| c.to_string());

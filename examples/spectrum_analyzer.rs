@@ -81,11 +81,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(db(bins[k3].abs()) > -1.0, "3 kHz tone not at 0 dB");
 
     // Cross-check the packed real path against every complex backend
-    // in the registry: the half-spectrum must match bin for bin.
+    // in the registry: the half-spectrum must match bin for bin. One
+    // preallocated spectrum buffer serves the whole sweep — the
+    // engines run on the zero-allocation `execute_into` path.
     println!();
-    let registry = EngineRegistry::standard(len)?;
-    for engine in registry.engines() {
-        let full = engine.execute(&windowed, Direction::Forward)?;
+    let mut registry = EngineRegistry::standard(len)?;
+    let mut full = vec![Complex::zero(); len];
+    for engine in registry.engines_mut() {
+        engine.execute_into(&windowed, &mut full, Direction::Forward)?;
         let worst = bins.iter().enumerate().map(|(k, b)| b.dist(full[k])).fold(0.0f64, f64::max);
         println!("real FFT vs {:<12} max bin deviation {worst:.2e}", engine.name());
         assert!(worst < 1e-6 * len as f64, "{} disagrees with the real FFT", engine.name());

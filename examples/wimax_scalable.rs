@@ -42,16 +42,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Speed is only half the story: cross-validate every backend
         // against the naive DFT at this size (2048 is covered nowhere
         // else) before trusting the ranking.
-        let registry = registry_with_asip(n)?;
+        let mut registry = registry_with_asip(n)?;
         let signal = calibration_signal(n);
         let want = dft_naive(&signal, Direction::Forward)?;
         let peak = want.iter().map(|c| c.abs()).fold(0.0f64, f64::max);
         let mut worst = 0.0f64;
-        for engine in registry.engines() {
+        // One spectrum buffer for the whole validation sweep: every
+        // backend writes into it through `execute_into`.
+        let mut got = vec![afft::num::Complex::zero(); n];
+        for engine in registry.engines_mut() {
             if engine.name() == "dft_naive" {
                 continue;
             }
-            let got = engine.execute(&signal, Direction::Forward)?;
+            engine.execute_into(&signal, &mut got, Direction::Forward)?;
             let err = max_error(&got, &want) / peak;
             assert!(err < engine.tolerance(), "{} deviates at N={n}", engine.name());
             worst = worst.max(err);

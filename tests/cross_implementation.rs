@@ -26,11 +26,11 @@ fn spectrum_peak(bins: &[C64]) -> f64 {
 #[test]
 fn every_registered_engine_computes_the_same_spectrum() {
     for n in [8usize, 64, 256, 1024] {
-        let registry = registry_with_asip(n).expect("registry");
+        let mut registry = registry_with_asip(n).expect("registry");
         let x = random_signal(n, 11 + n as u64);
         let want = dft_naive(&x, Direction::Forward).expect("naive");
         let peak = spectrum_peak(&want);
-        for engine in registry.engines() {
+        for engine in registry.engines_mut() {
             let got = engine
                 .execute(&x, Direction::Forward)
                 .unwrap_or_else(|e| panic!("{}: {e}", engine.name()));
@@ -72,7 +72,7 @@ fn performance_hierarchy_matches_the_paper() {
             .expect("sw");
     let ti_run = ti::run_ti_fft(n, &ti::TiConfig::default());
     let xt = xtensa::run_xtensa_fft(n, &xtensa::XtensaConfig::default());
-    let imple4 = AsipEngine::new(n).expect("plan");
+    let mut imple4 = AsipEngine::new(n).expect("plan");
     imple4.execute(&random_signal(n, 1), Direction::Forward).expect("asip");
     let ours = imple4.last_stats().expect("stats");
 
@@ -103,7 +103,7 @@ fn performance_hierarchy_matches_the_paper() {
 #[test]
 fn table_counts_follow_closed_forms() {
     for n in [256usize, 1024] {
-        let engine = AsipEngine::new(n).expect("plan");
+        let mut engine = AsipEngine::new(n).expect("plan");
         engine.execute(&random_signal(n, 2), Direction::Forward).expect("asip");
         let stats = engine.last_stats().expect("stats");
         let log2n = n.trailing_zeros() as u64;
@@ -138,7 +138,7 @@ fn traffic_hierarchy_across_engines_matches_section_ii() {
 fn throughput_decreases_with_size_as_in_table1() {
     let mut last = f64::INFINITY;
     for n in [64usize, 128, 256, 512, 1024] {
-        let engine = AsipEngine::new(n).expect("plan");
+        let mut engine = AsipEngine::new(n).expect("plan");
         engine.execute(&random_signal(n, 3), Direction::Forward).expect("asip");
         let stats = engine.last_stats().expect("stats");
         let mbps = stats.throughput_mbps(n, 300.0);

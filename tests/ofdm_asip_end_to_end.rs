@@ -25,7 +25,7 @@ fn asip_fft(pipeline: &mut FftPipeline, time: &[C64]) -> Vec<C64> {
 #[test]
 fn multipath_ofdm_link_through_the_simulated_hardware() {
     let mut rng = StdRng::seed_from_u64(42);
-    let ofdm = Ofdm::new(N, CP).expect("ofdm plan");
+    let mut ofdm = Ofdm::new(N, CP).expect("ofdm plan");
     let mut pipeline = FftPipeline::new(N, Timing::default()).expect("pipeline");
 
     // A 4-tap channel inside the cyclic prefix.
