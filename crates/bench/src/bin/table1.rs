@@ -1,7 +1,9 @@
 //! Experiment E1 — regenerates the paper's **Table I**: cycle count and
 //! data throughput of the array-FFT ASIP across FFT sizes, plus the
 //! 2048/4096-point scalability extension rows. The ASIP is driven
-//! through its [`FftEngine`](afft_core::engine::FftEngine) adapter.
+//! through its [`FftEngine`] adapter.
+//!
+//! [`FftEngine`]: afft_core::engine::FftEngine
 
 use afft_asip::engine::AsipEngine;
 use afft_bench::paper::TABLE1;

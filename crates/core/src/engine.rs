@@ -32,6 +32,13 @@
 //! the borrow checker), and on error the output buffer's contents are
 //! unspecified.
 //!
+//! This contract is what the upper layers build on: the planner's
+//! batch executor and the streaming pipeline's long-lived workers each
+//! own one engine instance (and therefore one scratch set) per thread
+//! — [`FftEngine`] deliberately carries no `Sync` bound — and drive it
+//! through `execute_into` so steady-state throughput work never
+//! touches the allocator.
+//!
 //! # Examples
 //!
 //! ```

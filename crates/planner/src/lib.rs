@@ -54,5 +54,7 @@ pub mod planner;
 pub mod wisdom;
 
 pub use batch::BatchExecutor;
-pub use planner::{calibration_signal, EngineRank, Plan, Planner, RegistryFactory, Strategy};
+pub use planner::{
+    calibration_signal, take_engine, EngineRank, Plan, Planner, RegistryFactory, Strategy,
+};
 pub use wisdom::{backend_set_hash, Wisdom, WisdomEntry, WisdomKey};

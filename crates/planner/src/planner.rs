@@ -268,9 +268,19 @@ fn unix_stamp() -> u64 {
 }
 
 /// Builds the factory's registry for size `n` and takes `name` out of
-/// it, owned — the one resolution path shared by [`Planner::engine`]
-/// and the batch executor (including its per-worker engines).
-pub(crate) fn take_engine(
+/// it, owned — the one plan→engine resolution path shared by
+/// [`Planner::engine`], the batch executor's per-worker engines, and
+/// the `afft_stream` pipeline's long-lived workers. Public so any
+/// layer that holds a [`RegistryFactory`] and a planned engine name
+/// can construct private engine instances (one per worker — the
+/// threading idiom that needs no `Sync` bound on [`FftEngine`]).
+///
+/// # Errors
+///
+/// Returns [`FftError::Backend`] if `name` is not in the factory's
+/// registry for `n` (e.g. wisdom from a different backend set), or any
+/// error the factory itself reports.
+pub fn take_engine(
     factory: RegistryFactory,
     n: usize,
     name: &str,

@@ -3,17 +3,71 @@
 //!
 //! The cache is keyed by [`WisdomKey`] — `(n, direction, strategy,
 //! backend-set hash)` — and stores the full best-first ranking plus a
-//! freshness stamp. The on-disk format is line-oriented text with no
-//! dependencies:
+//! freshness stamp.
+//!
+//! # The `afft wisdom v1` line format
+//!
+//! The on-disk format is line-oriented text with no dependencies. A
+//! file starts with the [`WISDOM_HEADER`] magic line (`# afft wisdom
+//! v1`) and carries one plan per line; `#` comment lines and blank
+//! lines are ignored:
 //!
 //! ```text
 //! # afft wisdom v1
 //! plan n=256 dir=fwd strategy=measure backends=00f09a3d5c77b121 stamp=17 rank=radix2_dit:8123.000,array_fft:9960.500
 //! ```
 //!
-//! Unparsable or stale lines are *skipped*, never fatal: a corrupt
-//! wisdom file degrades to an empty cache, and entries recorded
-//! against a different backend set simply never match their key.
+//! Each line is whitespace-separated `key=value` fields after the
+//! `plan` keyword, in any order:
+//!
+//! * `n` — transform size (decimal);
+//! * `dir` — `fwd` or `inv`;
+//! * `strategy` — `estimate` or `measure` ([`Strategy::as_str`]);
+//! * `backends` — the 16-digit lowercase-hex [`backend_set_hash`] of
+//!   the registry the ranking covers;
+//! * `stamp` — freshness in seconds since the Unix epoch (higher wins
+//!   on [`Wisdom::merge`]);
+//! * `rank` — comma-separated `engine:score_ns` pairs, best first.
+//!   Engine names must be snake_case identifiers and scores finite,
+//!   non-negative decimals;
+//! * any *other* key is forward-compatible noise and is ignored.
+//!
+//! Unparsable lines (missing fields, malformed numbers, invalid engine
+//! names, empty rankings) are *skipped and counted*, never fatal: a
+//! corrupt wisdom file degrades toward an empty cache, and entries
+//! recorded against a different backend set simply never match their
+//! key, so changing the registry invalidates stale wisdom by
+//! construction.
+//!
+//! ```
+//! use afft_planner::Wisdom;
+//!
+//! // (A line beginning with `# ` inside a doctest would be taken for
+//! // a rustdoc hidden-code marker, so the header is spelled `\x23`.)
+//! let text = "\x23 afft wisdom v1\n\
+//!     plan n=256 dir=fwd strategy=measure backends=00f09a3d5c77b121 stamp=17 rank=radix2_dit:8123.000,array_fft:9960.500\n\
+//!     plan n=128 dir=fwd strategy=measure rank=radix2_dit:nonsense\n";
+//! let wisdom = Wisdom::parse(text);
+//! assert_eq!(wisdom.len(), 1);           // the valid plan line
+//! assert_eq!(wisdom.rejected_lines(), 1); // the corrupt one, skipped
+//! // Round trip: serialize renders the same line format back.
+//! assert!(wisdom.serialize().starts_with("# afft wisdom v1\n"));
+//! let replayed = Wisdom::parse(&wisdom.serialize());
+//! assert_eq!(replayed.len(), 1);
+//! assert_eq!(replayed.rejected_lines(), 0);
+//! ```
+//!
+//! # Where wisdom lives: `$AFFT_WISDOM`
+//!
+//! [`Wisdom::default_path`] resolves the conventional location:
+//!
+//! 1. `$AFFT_WISDOM`, if set **and non-empty** — an empty value is
+//!    treated as unset (the conventional `PATH`-style reading:
+//!    `AFFT_WISDOM= cmd` must not resolve to the current directory);
+//! 2. else the per-user `$HOME/.afft-wisdom.txt` (the `~/.fftw-wisdom`
+//!    idiom);
+//! 3. else (no usable `HOME`) `afft-wisdom.txt` in the system temp
+//!    directory.
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;

@@ -1,0 +1,75 @@
+//! **afft-stream** — the persistent streaming execution layer: a
+//! long-lived worker pool that runs continuous OFDM traffic through
+//! planned [`FftEngine`](afft_core::engine::FftEngine) backends with
+//! zero heap allocation per symbol in steady state.
+//!
+//! The batch layer ([`afft_planner::BatchExecutor`]) spawns scoped
+//! threads *per call* — the right shape for one frame, the wrong shape
+//! for millions of symbols arriving continuously. A [`StreamPipeline`]
+//! is the "plan once, execute forever" counterpart: it is built once
+//! from a [`RegistryFactory`](afft_planner::RegistryFactory) and a set
+//! of [`ChannelSpec`]s (typically the winners of wisdom-ranked plans),
+//! spawns `N` long-lived workers that each own a private engine and
+//! pre-warmed scratch per channel, and feeds them through a bounded
+//! submission queue with backpressure:
+//!
+//! * [`StreamPipeline::try_submit`] refuses with
+//!   [`SubmitError::QueueFull`] (handing the payload buffers back)
+//!   instead of blocking;
+//! * [`StreamPipeline::submit`] blocks until queue space frees up;
+//! * completions are delivered **strictly in per-channel submission
+//!   order** ([`StreamPipeline::recv`] / [`StreamPipeline::try_recv`]),
+//!   regardless of which worker finished first;
+//! * [`StreamPipeline::shutdown`] drains every in-flight symbol before
+//!   joining the pool, returning the final [`StreamStats`] and any
+//!   undelivered completions — accepted work is never lost.
+//!
+//! Payload buffers travel *with* the job and come back in the
+//! [`Completion`], so a caller that recycles them closes the loop: after
+//! warmup neither the caller, the queue, nor the workers allocate per
+//! symbol (the engines reuse their plan-owned scratch, the PR-3
+//! `execute_into` idiom).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use afft_core::engine::EngineRegistry;
+//! use afft_core::Direction;
+//! use afft_num::Complex;
+//! use afft_stream::{ChannelSpec, StreamPipeline};
+//!
+//! let mut builder = StreamPipeline::builder(EngineRegistry::standard).workers(2).queue_depth(8);
+//! let ch = builder.channel(ChannelSpec::transform(256, "radix2_dit", Direction::Forward));
+//! let pipeline = builder.build()?;
+//!
+//! // The caller brings both buffers; they come back in the completion.
+//! let input = vec![Complex::new(1.0, 0.0); 256];
+//! let output = vec![Complex::zero(); 256];
+//! let seq = pipeline.submit(ch, input, output).expect("accepted");
+//! let done = pipeline.recv(ch).expect("one symbol outstanding");
+//! assert_eq!(done.seq, seq);
+//! assert!((done.output[0].re - 256.0).abs() < 1e-9);
+//!
+//! let (stats, leftover) = pipeline.shutdown();
+//! assert_eq!(stats.completed, 1);
+//! assert!(leftover.is_empty());
+//! # Ok::<(), afft_core::FftError>(())
+//! ```
+//!
+//! Multi-channel sessions register one channel per planned
+//! `(n, direction)` — including OFDM modulate/demodulate front-ends
+//! ([`ChannelOp::Modulate`] / [`ChannelOp::Demodulate`], running
+//! [`Ofdm::modulate_into`](afft_core::ofdm::Ofdm::modulate_into) and
+//! [`Ofdm::demodulate_into`](afft_core::ofdm::Ofdm::demodulate_into)
+//! worker-side) — and every worker serves every channel.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pipeline;
+pub mod stats;
+
+pub use pipeline::{
+    ChannelId, ChannelOp, ChannelSpec, Completion, StreamBuilder, StreamPipeline, SubmitError,
+};
+pub use stats::{ChannelStats, StreamStats};

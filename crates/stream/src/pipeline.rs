@@ -1,0 +1,1125 @@
+//! The streaming pipeline: channels, the bounded submission queue, the
+//! long-lived worker pool, and strict per-channel in-order completion
+//! delivery.
+//!
+//! One mutex guards the whole queue state (submission queue, per-channel
+//! reorder buffers, counters); workers hold it only to pop jobs or park
+//! completions — in batches of up to [`WORKER_BATCH`], so steady-state
+//! traffic pays a fraction of a lock round-trip per symbol — never while
+//! transforming, and condition variables are signalled only when a
+//! waiter is registered. Engines are **never** shared:
+//! each worker constructs its own backend per channel from the registry
+//! factory (the same idiom as
+//! [`BatchExecutor::execute_threaded_into`](afft_planner::BatchExecutor::execute_threaded_into)),
+//! then warms its scratch once, so steady-state traffic does zero heap
+//! work per symbol.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+use afft_core::engine::FftEngine;
+use afft_core::ofdm::Ofdm;
+use afft_core::{Direction, FftError};
+use afft_num::{Complex, C64};
+use afft_planner::planner::take_engine;
+use afft_planner::{Plan, RegistryFactory};
+
+use crate::stats::{ChannelStats, StreamStats};
+
+/// How many jobs a worker claims (and how many completions it parks)
+/// per lock acquisition. Bounds added latency under low load — a worker
+/// only takes what is already queued — while amortising the mutex and
+/// condvar traffic under sustained load, where per-symbol transform
+/// time is small enough for lock contention to dominate.
+pub const WORKER_BATCH: usize = 8;
+
+/// What a channel does to each submitted payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChannelOp {
+    /// The raw transform:
+    /// [`execute_into`](afft_core::engine::FftEngine::execute_into) in
+    /// the given direction. Input and output are both `N` points.
+    Transform(Direction),
+    /// OFDM modulation
+    /// ([`Ofdm::modulate_into`](afft_core::ofdm::Ofdm::modulate_into)):
+    /// `N` subcarriers in, `N + cp` time-domain samples out (IFFT,
+    /// `1/N` normalised, cyclic prefix prepended).
+    Modulate {
+        /// Cyclic-prefix length in samples (must be `< N`).
+        cp: usize,
+    },
+    /// OFDM demodulation
+    /// ([`Ofdm::demodulate_into`](afft_core::ofdm::Ofdm::demodulate_into)):
+    /// `N + cp` received samples in, `N` subcarrier bins out (prefix
+    /// stripped, forward FFT).
+    Demodulate {
+        /// Cyclic-prefix length in samples (must be `< N`).
+        cp: usize,
+    },
+}
+
+/// One streaming channel: a planned `(n, engine, operation)` triple.
+///
+/// Channels are registered on the [`StreamBuilder`]; every worker builds
+/// a private backend (and, for the OFDM ops, a private
+/// [`Ofdm`] front-end) per channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelSpec {
+    /// Transform size (number of subcarriers for the OFDM ops).
+    pub n: usize,
+    /// Engine name to take from the registry
+    /// ([`FftEngine::name`]).
+    pub engine: String,
+    /// What each submitted payload goes through.
+    pub op: ChannelOp,
+}
+
+impl ChannelSpec {
+    /// A raw-transform channel on a named engine.
+    pub fn transform(n: usize, engine: &str, dir: Direction) -> Self {
+        ChannelSpec { n, engine: engine.to_string(), op: ChannelOp::Transform(dir) }
+    }
+
+    /// A channel on the winner of a ranked [`Plan`] — how wisdom reaches
+    /// the streaming layer.
+    pub fn from_plan(plan: &Plan, op: ChannelOp) -> Self {
+        ChannelSpec { n: plan.n, engine: plan.best().name.clone(), op }
+    }
+
+    /// Required payload (input buffer) length for this channel.
+    pub fn input_len(&self) -> usize {
+        match self.op {
+            ChannelOp::Transform(_) | ChannelOp::Modulate { .. } => self.n,
+            ChannelOp::Demodulate { cp } => self.n + cp,
+        }
+    }
+
+    /// Required result (output buffer) length for this channel.
+    pub fn output_len(&self) -> usize {
+        match self.op {
+            ChannelOp::Transform(_) | ChannelOp::Demodulate { .. } => self.n,
+            ChannelOp::Modulate { cp } => self.n + cp,
+        }
+    }
+}
+
+/// Distinguishes pipelines so a [`ChannelId`] can prove which one it
+/// belongs to — an id from pipeline A used on pipeline B must fail
+/// loudly, not silently address B's same-index channel.
+static NEXT_PIPELINE_STAMP: AtomicU64 = AtomicU64::new(0);
+
+/// Opaque handle to a channel registered on a [`StreamBuilder`].
+///
+/// The handle remembers which pipeline it was issued by; using it on
+/// any other pipeline panics instead of silently selecting whatever
+/// channel shares its index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ChannelId {
+    stamp: u64,
+    index: usize,
+}
+
+impl ChannelId {
+    /// The channel's index in registration order (stable for the
+    /// pipeline's lifetime; also the index into
+    /// [`StreamStats::per_channel`]).
+    pub fn index(self) -> usize {
+        self.index
+    }
+}
+
+/// One finished symbol, delivered in per-channel submission order.
+///
+/// Both payload buffers come back to the caller, so a steady-state loop
+/// recycles them into the next [`StreamPipeline::submit`] and allocates
+/// nothing per symbol.
+#[derive(Debug)]
+pub struct Completion {
+    /// The channel the symbol was submitted on.
+    pub channel: ChannelId,
+    /// The sequence number [`StreamPipeline::submit`] returned.
+    pub seq: u64,
+    /// The submitted input buffer, unchanged.
+    pub input: Vec<C64>,
+    /// The result buffer. On error its contents are unspecified.
+    pub output: Vec<C64>,
+    /// Cycle count of this transform, on cycle-accurate backends.
+    pub cycles: Option<u64>,
+    /// The backend error, if the transform failed. Errors are delivered
+    /// in order like successes — a failed symbol never reorders the
+    /// stream.
+    pub error: Option<FftError>,
+}
+
+/// Why a submission was refused. Every variant hands the payload
+/// buffers back — refusing a symbol never costs the caller its
+/// allocations.
+#[derive(Debug)]
+pub enum SubmitError {
+    /// The bounded submission queue is at capacity (only
+    /// [`StreamPipeline::try_submit`] returns this; `submit` blocks
+    /// instead).
+    QueueFull {
+        /// The refused input buffer, returned to the caller.
+        input: Vec<C64>,
+        /// The refused output buffer, returned to the caller.
+        output: Vec<C64>,
+    },
+    /// The pipeline no longer accepts work
+    /// ([`StreamPipeline::close`] / [`StreamPipeline::shutdown`]).
+    Closed {
+        /// The refused input buffer, returned to the caller.
+        input: Vec<C64>,
+        /// The refused output buffer, returned to the caller.
+        output: Vec<C64>,
+    },
+    /// A buffer does not match the channel's shape
+    /// ([`ChannelSpec::input_len`] / [`ChannelSpec::output_len`]).
+    Shape {
+        /// The underlying length mismatch.
+        error: FftError,
+        /// The refused input buffer, returned to the caller.
+        input: Vec<C64>,
+        /// The refused output buffer, returned to the caller.
+        output: Vec<C64>,
+    },
+}
+
+impl SubmitError {
+    /// Recovers the payload buffers from any refusal, `(input, output)`.
+    pub fn into_buffers(self) -> (Vec<C64>, Vec<C64>) {
+        match self {
+            SubmitError::QueueFull { input, output }
+            | SubmitError::Closed { input, output }
+            | SubmitError::Shape { input, output, .. } => (input, output),
+        }
+    }
+}
+
+impl core::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SubmitError::QueueFull { .. } => write!(f, "submission queue is full"),
+            SubmitError::Closed { .. } => write!(f, "pipeline is closed to new submissions"),
+            SubmitError::Shape { error, .. } => write!(f, "payload rejected: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// Configures and spawns a [`StreamPipeline`]. Obtained from
+/// [`StreamPipeline::builder`].
+#[derive(Debug)]
+pub struct StreamBuilder {
+    factory: RegistryFactory,
+    specs: Vec<ChannelSpec>,
+    workers: usize,
+    queue_depth: usize,
+    stamp: u64,
+}
+
+impl StreamBuilder {
+    /// Sets the worker-pool size (clamped to at least 1; default 4).
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the bounded submission-queue capacity (clamped to at least
+    /// 1; default 64). A full queue is the backpressure signal:
+    /// [`StreamPipeline::try_submit`] refuses,
+    /// [`StreamPipeline::submit`] blocks.
+    #[must_use]
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        self.queue_depth = depth.max(1);
+        self
+    }
+
+    /// Registers a channel and returns its handle.
+    pub fn channel(&mut self, spec: ChannelSpec) -> ChannelId {
+        self.specs.push(spec);
+        ChannelId { stamp: self.stamp, index: self.specs.len() - 1 }
+    }
+
+    /// Validates every channel (engine present in the factory's
+    /// registry, supported size, cyclic prefix shorter than the symbol)
+    /// and spawns the worker pool. Each worker builds its private
+    /// engines and warms their scratch before serving traffic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::InvalidDecomposition`] for a pipeline with no
+    /// channels, [`FftError::Backend`] for an engine name the registry
+    /// does not offer, and any construction error the backends report.
+    pub fn build(self) -> Result<StreamPipeline, FftError> {
+        if self.specs.is_empty() {
+            return Err(FftError::InvalidDecomposition {
+                reason: "a stream pipeline needs at least one channel".into(),
+            });
+        }
+        // Fail on the builder thread, not inside a worker: construct
+        // (and drop) one front-end per channel now.
+        for spec in &self.specs {
+            Front::build(spec, self.factory)?;
+        }
+
+        let specs = Arc::new(self.specs);
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::with_capacity(self.queue_depth),
+                depth: self.queue_depth,
+                closed: false,
+                worker_panicked: false,
+                high_water: 0,
+                rejected: 0,
+                in_flight: 0,
+                idle_workers: 0,
+                space_waiting: 0,
+                recv_waiting: 0,
+                worker_transforms: vec![0; self.workers],
+                channels: specs.iter().map(|_| ChanState::default()).collect(),
+            }),
+            space: Condvar::new(),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+
+        let mut handles = Vec::with_capacity(self.workers);
+        for idx in 0..self.workers {
+            let shared = Arc::clone(&shared);
+            let specs = Arc::clone(&specs);
+            let factory = self.factory;
+            handles.push(std::thread::spawn(move || worker_loop(idx, &shared, &specs, factory)));
+        }
+
+        Ok(StreamPipeline {
+            shared,
+            specs,
+            handles,
+            queue_depth: self.queue_depth,
+            stamp: self.stamp,
+            started: Instant::now(),
+        })
+    }
+}
+
+/// The persistent streaming executor. See the [crate docs](crate) for
+/// the lifecycle and a worked example.
+#[derive(Debug)]
+pub struct StreamPipeline {
+    shared: Arc<Shared>,
+    specs: Arc<Vec<ChannelSpec>>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+    queue_depth: usize,
+    stamp: u64,
+    started: Instant,
+}
+
+impl StreamPipeline {
+    /// Starts configuring a pipeline over a registry factory
+    /// ([`EngineRegistry::standard`](afft_core::engine::EngineRegistry::standard)
+    /// for the software backends, `registry_with_asip` to let the
+    /// cycle-accurate ISS serve channels).
+    pub fn builder(factory: RegistryFactory) -> StreamBuilder {
+        StreamBuilder {
+            factory,
+            specs: Vec::new(),
+            workers: 4,
+            queue_depth: 64,
+            stamp: NEXT_PIPELINE_STAMP.fetch_add(1, Ordering::Relaxed),
+        }
+    }
+
+    /// The spec a channel was registered with.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` did not come from this pipeline's builder.
+    pub fn spec(&self, channel: ChannelId) -> &ChannelSpec {
+        &self.specs[self.chan(channel)]
+    }
+
+    /// Resolves a [`ChannelId`] to its index, enforcing provenance: an
+    /// id minted by a different pipeline must fail loudly even when its
+    /// index happens to be in range here.
+    fn chan(&self, channel: ChannelId) -> usize {
+        assert_eq!(channel.stamp, self.stamp, "ChannelId was issued by a different StreamPipeline");
+        channel.index
+    }
+
+    /// Number of registered channels.
+    pub fn channel_count(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Number of pool workers.
+    pub fn worker_count(&self) -> usize {
+        self.handles.len().max(1)
+    }
+
+    /// Capacity of the bounded submission queue.
+    pub fn queue_capacity(&self) -> usize {
+        self.queue_depth
+    }
+
+    /// Non-blocking submission: enqueues the payload or refuses with
+    /// [`SubmitError::QueueFull`] — the backpressure signal for callers
+    /// that would rather shed or buffer load than stall. Refusal hands
+    /// both buffers back and loses no previously accepted work.
+    ///
+    /// Returns the symbol's per-channel sequence number; its
+    /// [`Completion`] is delivered in exactly this order.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::QueueFull`], [`SubmitError::Closed`], or
+    /// [`SubmitError::Shape`] — all returning the payload buffers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` did not come from this pipeline's builder.
+    pub fn try_submit(
+        &self,
+        channel: ChannelId,
+        input: Vec<C64>,
+        output: Vec<C64>,
+    ) -> Result<u64, SubmitError> {
+        if let Err(error) = self.validate(channel, &input, &output) {
+            return Err(SubmitError::Shape { error, input, output });
+        }
+        let mut st = self.lock();
+        if st.closed {
+            return Err(SubmitError::Closed { input, output });
+        }
+        if st.queue.len() >= self.queue_depth {
+            st.rejected += 1;
+            return Err(SubmitError::QueueFull { input, output });
+        }
+        Ok(self.enqueue(&mut st, channel, input, output))
+    }
+
+    /// Blocking submission: waits for queue space instead of refusing.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Closed`] (also while waiting, if the pipeline
+    /// closes under the caller) or [`SubmitError::Shape`] — both
+    /// returning the payload buffers. Never [`SubmitError::QueueFull`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` did not come from this pipeline's builder,
+    /// or if a pipeline worker has panicked (the pipeline is dead; a
+    /// blocked submitter must fail, not wait forever).
+    pub fn submit(
+        &self,
+        channel: ChannelId,
+        input: Vec<C64>,
+        output: Vec<C64>,
+    ) -> Result<u64, SubmitError> {
+        if let Err(error) = self.validate(channel, &input, &output) {
+            return Err(SubmitError::Shape { error, input, output });
+        }
+        let mut st = self.lock();
+        loop {
+            if st.worker_panicked {
+                // Drop the guard first: this panic reports a dead
+                // pipeline, it must not also poison the state mutex.
+                drop(st);
+                panic!("a stream worker panicked; the pipeline is dead");
+            }
+            if st.closed {
+                return Err(SubmitError::Closed { input, output });
+            }
+            if st.queue.len() < self.queue_depth {
+                return Ok(self.enqueue(&mut st, channel, input, output));
+            }
+            st.space_waiting += 1;
+            st = self.shared.space.wait(st).expect("stream state poisoned");
+            st.space_waiting -= 1;
+        }
+    }
+
+    /// Non-blocking delivery: the channel's next in-order completion,
+    /// if it has finished.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` did not come from this pipeline's builder.
+    pub fn try_recv(&self, channel: ChannelId) -> Option<Completion> {
+        let idx = self.chan(channel);
+        let mut st = self.lock();
+        Self::pop_delivery(&mut st, idx)
+    }
+
+    /// Blocking delivery: waits for the channel's next in-order
+    /// completion. Returns `None` only when the channel has nothing
+    /// outstanding (every accepted symbol already delivered) — so a
+    /// drain loop is simply `while let Some(c) = pipeline.recv(ch)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` did not come from this pipeline's builder,
+    /// or if a pipeline worker has panicked — symbols the worker had
+    /// claimed are lost, so waiting for them would hang forever.
+    /// Completions that were already parked are still delivered before
+    /// the panic is raised.
+    pub fn recv(&self, channel: ChannelId) -> Option<Completion> {
+        let idx = self.chan(channel);
+        let mut st = self.lock();
+        loop {
+            if let Some(done) = Self::pop_delivery(&mut st, idx) {
+                return Some(done);
+            }
+            if st.worker_panicked {
+                // Drop the guard first: this panic reports a dead
+                // pipeline, it must not also poison the state mutex.
+                drop(st);
+                panic!(
+                    "a stream worker panicked; its claimed symbols are lost and the pipeline \
+                     is dead"
+                );
+            }
+            if st.channels[idx].delivered == st.channels[idx].next_seq {
+                return None;
+            }
+            st.recv_waiting += 1;
+            st = self.shared.done.wait(st).expect("stream state poisoned");
+            st.recv_waiting -= 1;
+        }
+    }
+
+    /// Symbols accepted on `channel` but not yet delivered (queued, in
+    /// flight, or parked awaiting their turn).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` did not come from this pipeline's builder.
+    pub fn outstanding(&self, channel: ChannelId) -> u64 {
+        let idx = self.chan(channel);
+        let st = self.lock();
+        st.channels[idx].next_seq - st.channels[idx].delivered
+    }
+
+    /// Stops accepting new submissions. Already-accepted work keeps
+    /// flowing: workers drain the queue and completions stay
+    /// retrievable. Blocked [`StreamPipeline::submit`] callers return
+    /// [`SubmitError::Closed`].
+    pub fn close(&self) {
+        let mut st = self.lock();
+        st.closed = true;
+        drop(st);
+        self.shared.space.notify_all();
+        self.shared.work.notify_all();
+        self.shared.done.notify_all();
+    }
+
+    /// Whether [`StreamPipeline::close`] (or shutdown) has been called.
+    pub fn is_closed(&self) -> bool {
+        self.lock().closed
+    }
+
+    /// A snapshot of the pipeline's counters. Cheap: one lock, no
+    /// queue traversal.
+    pub fn stats(&self) -> StreamStats {
+        let st = self.lock();
+        StreamStats {
+            submitted: st.channels.iter().map(|c| c.next_seq).sum(),
+            completed: st.channels.iter().map(|c| c.completed).sum(),
+            delivered: st.channels.iter().map(|c| c.delivered).sum(),
+            rejected: st.rejected,
+            in_queue: st.queue.len(),
+            in_flight: st.in_flight,
+            queue_capacity: self.queue_depth,
+            queue_high_water: st.high_water,
+            worker_transforms: st.worker_transforms.clone(),
+            per_channel: st
+                .channels
+                .iter()
+                .map(|c| ChannelStats {
+                    submitted: c.next_seq,
+                    completed: c.completed,
+                    delivered: c.delivered,
+                })
+                .collect(),
+            elapsed: self.started.elapsed(),
+        }
+    }
+
+    /// Graceful shutdown: closes the intake, lets the workers drain
+    /// every accepted symbol, joins the pool, and returns the final
+    /// stats plus every undelivered [`Completion`] (per-channel
+    /// submission order, channels in registration order) — accepted
+    /// work is never lost, even if the caller stopped receiving.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread itself panicked.
+    pub fn shutdown(mut self) -> (StreamStats, Vec<Completion>) {
+        self.close();
+        for handle in self.handles.drain(..) {
+            handle.join().expect("stream worker panicked");
+        }
+        let leftover = {
+            let mut st = self.lock();
+            let mut leftover = Vec::new();
+            for (idx, chan) in st.channels.iter_mut().enumerate() {
+                while let Some(done) = chan.pop_next() {
+                    leftover.push(done);
+                }
+                debug_assert!(
+                    chan.parked.iter().all(Option::is_none) && chan.delivered == chan.next_seq,
+                    "channel {idx} lost work at shutdown"
+                );
+            }
+            leftover
+        };
+        (self.stats(), leftover)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        self.shared.state.lock().expect("stream state poisoned")
+    }
+
+    fn validate(&self, channel: ChannelId, input: &[C64], output: &[C64]) -> Result<(), FftError> {
+        let spec = &self.specs[self.chan(channel)];
+        if input.len() != spec.input_len() {
+            return Err(FftError::LengthMismatch { expected: spec.input_len(), got: input.len() });
+        }
+        if output.len() != spec.output_len() {
+            return Err(FftError::LengthMismatch {
+                expected: spec.output_len(),
+                got: output.len(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Assigns the next per-channel sequence number and enqueues the
+    /// job. Caller holds the lock and has already checked capacity.
+    fn enqueue(
+        &self,
+        st: &mut State,
+        channel: ChannelId,
+        input: Vec<C64>,
+        output: Vec<C64>,
+    ) -> u64 {
+        let idx = self.chan(channel);
+        let seq = st.channels[idx].next_seq;
+        st.channels[idx].next_seq += 1;
+        st.queue.push_back(Job { channel, seq, input, output });
+        st.high_water = st.high_water.max(st.queue.len());
+        if st.idle_workers > 0 {
+            self.shared.work.notify_one();
+        }
+        seq
+    }
+
+    fn pop_delivery(st: &mut State, idx: usize) -> Option<Completion> {
+        st.channels[idx].pop_next()
+    }
+}
+
+impl Drop for StreamPipeline {
+    /// Dropping without [`StreamPipeline::shutdown`] still drains and
+    /// joins the pool (undelivered completions are discarded with the
+    /// pipeline).
+    fn drop(&mut self) {
+        self.close();
+        for handle in self.handles.drain(..) {
+            // Don't double-panic while unwinding.
+            let _ = handle.join();
+        }
+    }
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Submitters waiting for queue space.
+    space: Condvar,
+    /// Workers waiting for jobs.
+    work: Condvar,
+    /// Receivers waiting for completions.
+    done: Condvar,
+}
+
+impl core::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Shared").finish_non_exhaustive()
+    }
+}
+
+struct State {
+    queue: VecDeque<Job>,
+    /// Submission-queue capacity, mirrored here so workers can apply
+    /// the low-watermark wakeup rule without reaching the pipeline.
+    depth: usize,
+    closed: bool,
+    /// Set by a worker's unwind guard: jobs it had claimed are gone,
+    /// so blocking callers must fail loudly instead of waiting forever.
+    worker_panicked: bool,
+    high_water: usize,
+    rejected: u64,
+    in_flight: usize,
+    /// Workers currently parked on the `work` condvar; submitters only
+    /// signal it when somebody is listening.
+    idle_workers: usize,
+    /// Submitters blocked on the `space` condvar.
+    space_waiting: usize,
+    /// Receivers blocked on the `done` condvar.
+    recv_waiting: usize,
+    worker_transforms: Vec<u64>,
+    channels: Vec<ChanState>,
+}
+
+#[derive(Default)]
+struct ChanState {
+    /// Next sequence number to assign on submission.
+    next_seq: u64,
+    /// Next sequence number to deliver; everything below has been
+    /// handed to the caller.
+    delivered: u64,
+    /// Symbols finished by workers (delivered or parked).
+    completed: u64,
+    /// Reorder ring: slot `i` holds the completion for sequence number
+    /// `delivered + i`, or `None` while that symbol is still queued or
+    /// in flight. A ring (rather than a map) keeps its capacity across
+    /// park/deliver cycles, so steady-state parking allocates nothing.
+    parked: VecDeque<Option<Completion>>,
+}
+
+impl ChanState {
+    /// Parks a finished symbol at its in-order slot.
+    fn park(&mut self, done: Completion) {
+        let offset = usize::try_from(done.seq - self.delivered).expect("reorder window fits");
+        while self.parked.len() <= offset {
+            self.parked.push_back(None);
+        }
+        self.parked[offset] = Some(done);
+    }
+
+    /// Takes the next in-order completion, if it has been parked.
+    fn pop_next(&mut self) -> Option<Completion> {
+        match self.parked.front_mut() {
+            Some(slot @ Some(_)) => {
+                let done = slot.take();
+                self.parked.pop_front();
+                self.delivered += 1;
+                done
+            }
+            _ => None,
+        }
+    }
+}
+
+struct Job {
+    channel: ChannelId,
+    seq: u64,
+    input: Vec<C64>,
+    output: Vec<C64>,
+}
+
+/// A worker's private per-channel execution front: the raw engine, or
+/// an [`Ofdm`] modem wrapping it.
+enum Front {
+    Raw { engine: Box<dyn FftEngine>, dir: Direction },
+    Modem { ofdm: Ofdm, modulate: bool },
+}
+
+impl Front {
+    fn build(spec: &ChannelSpec, factory: RegistryFactory) -> Result<Front, FftError> {
+        let engine = take_engine(factory, spec.n, &spec.engine)?;
+        Ok(match spec.op {
+            ChannelOp::Transform(dir) => Front::Raw { engine, dir },
+            ChannelOp::Modulate { cp } => {
+                Front::Modem { ofdm: Ofdm::with_engine(engine, cp)?, modulate: true }
+            }
+            ChannelOp::Demodulate { cp } => {
+                Front::Modem { ofdm: Ofdm::with_engine(engine, cp)?, modulate: false }
+            }
+        })
+    }
+
+    fn run(&mut self, input: &[C64], output: &mut [C64]) -> Result<(), FftError> {
+        match self {
+            Front::Raw { engine, dir } => engine.execute_into(input, output, *dir),
+            Front::Modem { ofdm, modulate: true } => ofdm.modulate_into(input, output),
+            Front::Modem { ofdm, modulate: false } => ofdm.demodulate_into(input, output),
+        }
+    }
+
+    fn cycles(&self) -> Option<u64> {
+        match self {
+            Front::Raw { engine, .. } => engine.cycles(),
+            Front::Modem { ofdm, .. } => ofdm.engine().cycles(),
+        }
+    }
+}
+
+/// Marks the pipeline dead if its worker unwinds — a panicking backend
+/// must wake (and fail) blocked `submit`/`recv` callers, not strand
+/// them on a condvar waiting for jobs that will never be parked.
+struct PanicGuard<'a>(&'a Shared);
+
+impl Drop for PanicGuard<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            // Ignore a poisoned mutex here: every other accessor treats
+            // poison as fatal anyway, which surfaces the failure too.
+            if let Ok(mut st) = self.0.state.lock() {
+                st.worker_panicked = true;
+                st.closed = true;
+            }
+            self.0.space.notify_all();
+            self.0.work.notify_all();
+            self.0.done.notify_all();
+        }
+    }
+}
+
+fn worker_loop(idx: usize, shared: &Shared, specs: &[ChannelSpec], factory: RegistryFactory) {
+    let _guard = PanicGuard(shared);
+    // Private engines + scratch, warmed on a zero symbol per channel so
+    // the first real symbol already runs the allocation-free path.
+    let mut fronts: Vec<Front> = specs
+        .iter()
+        .map(|spec| {
+            let mut front = Front::build(spec, factory)
+                .expect("channel validated at build time but not constructible in worker");
+            let input = vec![Complex::zero(); spec.input_len()];
+            let mut output = vec![Complex::zero(); spec.output_len()];
+            front.run(&input, &mut output).expect("warmup transform failed");
+            front
+        })
+        .collect();
+
+    // Job and completion staging reused across iterations: the worker
+    // loop itself allocates nothing per symbol in steady state.
+    let mut jobs: Vec<Job> = Vec::with_capacity(WORKER_BATCH);
+    let mut finished: Vec<Completion> = Vec::with_capacity(WORKER_BATCH);
+    loop {
+        // Claim up to WORKER_BATCH already-queued jobs in one lock
+        // acquisition — never waiting for a batch to fill.
+        let wake_submitters = {
+            let mut st = shared.state.lock().expect("stream state poisoned");
+            loop {
+                while jobs.len() < WORKER_BATCH {
+                    match st.queue.pop_front() {
+                        Some(job) => jobs.push(job),
+                        None => break,
+                    }
+                }
+                if !jobs.is_empty() {
+                    st.in_flight += jobs.len();
+                    // Low-watermark backpressure release: don't wake a
+                    // blocked submitter for every freed slot — let the
+                    // queue drain to half capacity first, so each
+                    // wakeup is amortised over ~depth/2 submissions
+                    // instead of costing a block/wake cycle per batch.
+                    break st.space_waiting > 0 && st.queue.len() <= st.depth / 2;
+                }
+                if st.closed {
+                    return;
+                }
+                st.idle_workers += 1;
+                st = shared.work.wait(st).expect("stream state poisoned");
+                st.idle_workers -= 1;
+            }
+        };
+        if wake_submitters {
+            shared.space.notify_all();
+        }
+
+        for mut job in jobs.drain(..) {
+            let front = &mut fronts[job.channel.index];
+            let error = front.run(&job.input, &mut job.output).err();
+            finished.push(Completion {
+                channel: job.channel,
+                seq: job.seq,
+                input: job.input,
+                output: job.output,
+                cycles: front.cycles(),
+                error,
+            });
+        }
+
+        let wake_receivers = {
+            let mut st = shared.state.lock().expect("stream state poisoned");
+            st.in_flight -= finished.len();
+            st.worker_transforms[idx] += finished.len() as u64;
+            for done in finished.drain(..) {
+                let chan = &mut st.channels[done.channel.index];
+                chan.completed += 1;
+                chan.park(done);
+            }
+            st.recv_waiting > 0
+        };
+        if wake_receivers {
+            shared.done.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afft_core::engine::EngineRegistry;
+    use afft_core::ofdm::{qpsk_demap, qpsk_map};
+
+    fn tagged(n: usize, tag: f64) -> Vec<C64> {
+        (0..n).map(|i| Complex::new(tag, i as f64 / n as f64)).collect()
+    }
+
+    #[test]
+    fn single_channel_round_trip_delivers_in_order() {
+        let mut builder =
+            StreamPipeline::builder(EngineRegistry::standard).workers(3).queue_depth(4);
+        let ch = builder.channel(ChannelSpec::transform(64, "radix2_dit", Direction::Forward));
+        let pipeline = builder.build().unwrap();
+
+        let mut engine = EngineRegistry::standard(64).unwrap().take("radix2_dit").unwrap();
+        let mut expected = Vec::new();
+        for s in 0..16u64 {
+            let x = tagged(64, s as f64);
+            expected.push(engine.execute(&x, Direction::Forward).unwrap());
+            let seq = pipeline.submit(ch, x, vec![Complex::zero(); 64]).unwrap();
+            assert_eq!(seq, s);
+        }
+        for s in 0..16u64 {
+            let done = pipeline.recv(ch).expect("outstanding symbol");
+            assert_eq!(done.seq, s);
+            assert!(done.error.is_none());
+            assert_eq!(done.output, expected[s as usize], "bit-identical to direct execution");
+            assert_eq!(done.input, tagged(64, s as f64), "input handed back unchanged");
+        }
+        assert!(pipeline.recv(ch).is_none(), "drained channel yields None");
+        let (stats, leftover) = pipeline.shutdown();
+        assert!(leftover.is_empty());
+        assert_eq!(stats.submitted, 16);
+        assert_eq!(stats.completed, 16);
+        assert_eq!(stats.delivered, 16);
+        assert_eq!(stats.worker_transforms.iter().sum::<u64>(), 16);
+    }
+
+    #[test]
+    fn modem_channels_modulate_and_demodulate() {
+        let mut builder =
+            StreamPipeline::builder(EngineRegistry::standard).workers(2).queue_depth(8);
+        let tx = builder.channel(ChannelSpec {
+            n: 128,
+            engine: "array_fft".into(),
+            op: ChannelOp::Modulate { cp: 32 },
+        });
+        let rx = builder.channel(ChannelSpec {
+            n: 128,
+            engine: "array_fft".into(),
+            op: ChannelOp::Demodulate { cp: 32 },
+        });
+        let pipeline = builder.build().unwrap();
+        assert_eq!(pipeline.spec(tx).input_len(), 128);
+        assert_eq!(pipeline.spec(tx).output_len(), 160);
+        assert_eq!(pipeline.spec(rx).input_len(), 160);
+        assert_eq!(pipeline.spec(rx).output_len(), 128);
+
+        let bits: Vec<(bool, bool)> = (0..128).map(|i| (i % 2 == 0, i % 5 == 0)).collect();
+        pipeline.submit(tx, qpsk_map(&bits), vec![Complex::zero(); 160]).unwrap();
+        let sym = pipeline.recv(tx).unwrap();
+        assert!(sym.error.is_none());
+        pipeline.submit(rx, sym.output, vec![Complex::zero(); 128]).unwrap();
+        let bins = pipeline.recv(rx).unwrap();
+        assert!(bins.error.is_none());
+        assert_eq!(qpsk_demap(&bins.output), bits, "stream modem round trip");
+    }
+
+    #[test]
+    fn shape_and_closed_refusals_hand_buffers_back() {
+        let mut builder = StreamPipeline::builder(EngineRegistry::standard).workers(1);
+        let ch = builder.channel(ChannelSpec::transform(64, "mcfft", Direction::Inverse));
+        let pipeline = builder.build().unwrap();
+
+        let err = pipeline.submit(ch, vec![Complex::zero(); 32], vec![Complex::zero(); 64]);
+        match err.unwrap_err() {
+            SubmitError::Shape { error, input, output } => {
+                assert_eq!(error, FftError::LengthMismatch { expected: 64, got: 32 });
+                assert_eq!((input.len(), output.len()), (32, 64));
+            }
+            other => panic!("expected Shape, got {other}"),
+        }
+        let err = pipeline.try_submit(ch, vec![Complex::zero(); 64], vec![Complex::zero(); 32]);
+        assert!(matches!(err.unwrap_err(), SubmitError::Shape { .. }));
+
+        pipeline.close();
+        assert!(pipeline.is_closed());
+        let err = pipeline.submit(ch, vec![Complex::zero(); 64], vec![Complex::zero(); 64]);
+        let (input, output) = match err.unwrap_err() {
+            e @ SubmitError::Closed { .. } => e.into_buffers(),
+            other => panic!("expected Closed, got {other}"),
+        };
+        assert_eq!((input.len(), output.len()), (64, 64));
+    }
+
+    #[test]
+    fn shutdown_returns_undelivered_completions_in_order() {
+        let mut builder =
+            StreamPipeline::builder(EngineRegistry::standard).workers(2).queue_depth(16);
+        let ch = builder.channel(ChannelSpec::transform(64, "radix2_dif", Direction::Forward));
+        let pipeline = builder.build().unwrap();
+        for s in 0..10u64 {
+            pipeline.submit(ch, tagged(64, s as f64), vec![Complex::zero(); 64]).unwrap();
+        }
+        // Deliver only the first three; shutdown must hand back the rest.
+        for s in 0..3u64 {
+            assert_eq!(pipeline.recv(ch).unwrap().seq, s);
+        }
+        let (stats, leftover) = pipeline.shutdown();
+        assert_eq!(stats.submitted, 10);
+        assert_eq!(stats.completed, 10, "shutdown drains in-flight work");
+        assert_eq!(leftover.len(), 7);
+        let seqs: Vec<u64> = leftover.iter().map(|c| c.seq).collect();
+        assert_eq!(seqs, (3..10).collect::<Vec<u64>>(), "leftover stays in submission order");
+    }
+
+    #[test]
+    fn builder_rejects_bad_channels_and_empty_pipelines() {
+        let err = StreamPipeline::builder(EngineRegistry::standard).build().unwrap_err();
+        assert!(matches!(err, FftError::InvalidDecomposition { .. }));
+
+        let mut builder = StreamPipeline::builder(EngineRegistry::standard);
+        builder.channel(ChannelSpec::transform(64, "asip_iss", Direction::Forward));
+        assert!(matches!(builder.build().unwrap_err(), FftError::Backend { .. }));
+
+        let mut builder = StreamPipeline::builder(EngineRegistry::standard);
+        builder.channel(ChannelSpec {
+            n: 64,
+            engine: "radix2_dit".into(),
+            op: ChannelOp::Modulate { cp: 64 },
+        });
+        assert!(matches!(builder.build().unwrap_err(), FftError::InvalidDecomposition { .. }));
+    }
+
+    #[test]
+    fn stats_track_queue_pressure() {
+        let mut builder =
+            StreamPipeline::builder(EngineRegistry::standard).workers(1).queue_depth(2);
+        let ch = builder.channel(ChannelSpec::transform(64, "dft_naive", Direction::Forward));
+        let pipeline = builder.build().unwrap();
+        assert_eq!(pipeline.queue_capacity(), 2);
+        assert_eq!(pipeline.worker_count(), 1);
+        assert_eq!(pipeline.channel_count(), 1);
+        assert_eq!(ch.index(), 0);
+        for s in 0..6u64 {
+            pipeline.submit(ch, tagged(64, s as f64), vec![Complex::zero(); 64]).unwrap();
+        }
+        while pipeline.recv(ch).is_some() {}
+        let stats = pipeline.stats();
+        assert_eq!(stats.delivered, 6);
+        assert!(stats.queue_high_water >= 1 && stats.queue_high_water <= 2);
+        assert_eq!(stats.per_channel.len(), 1);
+        assert_eq!(stats.per_channel[0].delivered, 6);
+        assert!(stats.throughput() > 0.0);
+    }
+
+    /// A backend that panics on any non-zero symbol — the warmup's
+    /// zero symbol passes, then real traffic detonates the worker.
+    struct FragileEngine {
+        n: usize,
+    }
+
+    impl FftEngine for FragileEngine {
+        fn name(&self) -> &str {
+            "fragile"
+        }
+
+        fn len(&self) -> usize {
+            self.n
+        }
+
+        fn execute_into(
+            &mut self,
+            input: &[C64],
+            output: &mut [C64],
+            _dir: Direction,
+        ) -> Result<(), FftError> {
+            assert!(input.iter().all(|c| c.re == 0.0 && c.im == 0.0), "fragile engine exploded");
+            for slot in output.iter_mut() {
+                *slot = Complex::zero();
+            }
+            Ok(())
+        }
+
+        fn traffic(&self) -> Option<afft_core::cached::MemTraffic> {
+            None
+        }
+    }
+
+    fn fragile_registry(n: usize) -> Result<EngineRegistry, FftError> {
+        let mut registry = EngineRegistry::new();
+        registry.register(Box::new(FragileEngine { n }));
+        Ok(registry)
+    }
+
+    #[test]
+    fn worker_panic_fails_blocked_callers_instead_of_hanging() {
+        let mut builder = StreamPipeline::builder(fragile_registry).workers(1).queue_depth(4);
+        let ch = builder.channel(ChannelSpec::transform(64, "fragile", Direction::Forward));
+        let pipeline = builder.build().unwrap();
+
+        // The zero symbol passes; the worker is alive and parking.
+        pipeline.submit(ch, vec![Complex::zero(); 64], vec![Complex::zero(); 64]).unwrap();
+        assert!(pipeline.recv(ch).unwrap().error.is_none());
+
+        // A non-zero symbol panics inside the worker. recv must
+        // propagate that as a panic, not block forever on a completion
+        // that will never be parked.
+        pipeline.submit(ch, vec![Complex::new(1.0, 0.0); 64], vec![Complex::zero(); 64]).unwrap();
+        let recv = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| pipeline.recv(ch)));
+        assert!(recv.is_err(), "recv must fail loudly after a worker panic");
+        // Blocking submit fails loudly too, and the intake is closed.
+        let blocked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pipeline.submit(ch, vec![Complex::zero(); 64], vec![Complex::zero(); 64])
+        }));
+        assert!(blocked.is_err(), "submit must fail loudly after a worker panic");
+        assert!(pipeline.is_closed());
+        // Drop (not shutdown) so the test itself doesn't re-panic on join.
+        drop(pipeline);
+    }
+
+    #[test]
+    #[should_panic(expected = "different StreamPipeline")]
+    fn foreign_channel_ids_are_rejected_even_with_in_range_indices() {
+        let mut builder = StreamPipeline::builder(EngineRegistry::standard).workers(1);
+        let foreign = builder.channel(ChannelSpec::transform(64, "radix2_dit", Direction::Forward));
+        let _other = builder.build().unwrap();
+
+        let mut builder = StreamPipeline::builder(EngineRegistry::standard).workers(1);
+        let _local = builder.channel(ChannelSpec {
+            n: 64,
+            engine: "radix2_dit".into(),
+            op: ChannelOp::Modulate { cp: 16 },
+        });
+        let pipeline = builder.build().unwrap();
+        // Index 0 is in range here but the id belongs to `_other`:
+        // silently resolving it would submit against the wrong op.
+        let _ = pipeline.spec(foreign);
+    }
+
+    #[test]
+    fn channel_spec_shapes_and_plan_constructor() {
+        let spec = ChannelSpec::transform(256, "array_fft", Direction::Inverse);
+        assert_eq!((spec.input_len(), spec.output_len()), (256, 256));
+        let spec = ChannelSpec { n: 256, engine: "x".into(), op: ChannelOp::Modulate { cp: 64 } };
+        assert_eq!((spec.input_len(), spec.output_len()), (256, 320));
+        let spec = ChannelSpec { n: 256, engine: "x".into(), op: ChannelOp::Demodulate { cp: 64 } };
+        assert_eq!((spec.input_len(), spec.output_len()), (320, 256));
+
+        let mut planner = afft_planner::Planner::new();
+        let plan = planner.plan(128, afft_planner::Strategy::Estimate).unwrap();
+        let spec = ChannelSpec::from_plan(&plan, ChannelOp::Demodulate { cp: 32 });
+        assert_eq!(spec.n, 128);
+        assert_eq!(spec.engine, plan.best().name);
+    }
+}

@@ -1,0 +1,118 @@
+//! Pipeline observability: cumulative counters and queue pressure,
+//! snapshotted by [`StreamPipeline::stats`](crate::StreamPipeline::stats).
+
+use std::time::Duration;
+
+/// Cumulative counters for one channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Symbols accepted onto the channel.
+    pub submitted: u64,
+    /// Symbols workers have finished (delivered or awaiting delivery).
+    pub completed: u64,
+    /// Symbols handed to the caller, in order.
+    pub delivered: u64,
+}
+
+/// A point-in-time snapshot of a
+/// [`StreamPipeline`](crate::StreamPipeline)'s counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamStats {
+    /// Total symbols accepted across all channels.
+    pub submitted: u64,
+    /// Total symbols workers have finished.
+    pub completed: u64,
+    /// Total symbols delivered to the caller.
+    pub delivered: u64,
+    /// Submissions refused with
+    /// [`SubmitError::QueueFull`](crate::SubmitError::QueueFull) — the
+    /// backpressure events observed so far.
+    pub rejected: u64,
+    /// Symbols currently waiting in the submission queue.
+    pub in_queue: usize,
+    /// Symbols currently being transformed by a worker.
+    pub in_flight: usize,
+    /// Capacity of the bounded submission queue.
+    pub queue_capacity: usize,
+    /// Deepest the submission queue has ever been — how close the
+    /// stream has come to backpressure (equals `queue_capacity` once
+    /// any submission has been refused or blocked).
+    pub queue_high_water: usize,
+    /// Transforms finished per worker, in spawn order — the pool's
+    /// load balance.
+    pub worker_transforms: Vec<u64>,
+    /// Per-channel counters, in channel registration order.
+    pub per_channel: Vec<ChannelStats>,
+    /// Time since the pipeline was built.
+    pub elapsed: Duration,
+}
+
+impl StreamStats {
+    /// Sustained completion rate since the pipeline was built,
+    /// symbols/sec (zero for an empty or instantaneous snapshot).
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.completed as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+impl core::fmt::Display for StreamStats {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "submitted {} | completed {} ({:.0}/s) | delivered {} | rejected {} | \
+             queue {}/{} (hwm {}) | workers {:?}",
+            self.submitted,
+            self.completed,
+            self.throughput(),
+            self.delivered,
+            self.rejected,
+            self.in_queue,
+            self.queue_capacity,
+            self.queue_high_water,
+            self.worker_transforms,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> StreamStats {
+        StreamStats {
+            submitted: 10,
+            completed: 8,
+            delivered: 6,
+            rejected: 2,
+            in_queue: 1,
+            in_flight: 1,
+            queue_capacity: 4,
+            queue_high_water: 4,
+            worker_transforms: vec![5, 3],
+            per_channel: vec![ChannelStats { submitted: 10, completed: 8, delivered: 6 }],
+            elapsed: Duration::from_secs(2),
+        }
+    }
+
+    #[test]
+    fn throughput_is_completions_over_elapsed() {
+        let stats = sample();
+        assert!((stats.throughput() - 4.0).abs() < 1e-12);
+        let instant = StreamStats { elapsed: Duration::ZERO, ..sample() };
+        assert_eq!(instant.throughput(), 0.0);
+    }
+
+    #[test]
+    fn display_summarises_the_counters() {
+        let line = sample().to_string();
+        assert!(line.contains("submitted 10"));
+        assert!(line.contains("rejected 2"));
+        assert!(line.contains("queue 1/4 (hwm 4)"));
+        assert!(line.contains("[5, 3]"));
+    }
+}

@@ -20,6 +20,10 @@
 //!   the registry per transform shape (Estimate heuristics or Measure
 //!   calibration), caches winners as serializable wisdom, and batches
 //!   multi-symbol workloads through the planned engine;
+//! * [`stream`] ([`afft_stream`]) — the persistent streaming pipeline:
+//!   a long-lived worker pool over planned engines with bounded
+//!   queues, backpressure, and strict per-channel in-order completion
+//!   delivery for continuous OFDM traffic;
 //! * [`baselines`] ([`afft_baselines`]) — the TI C6713 and Xtensa
 //!   trace-driven models of Table II;
 //! * [`hwmodel`] ([`afft_hwmodel`]) — the Section IV gate/power/timing
@@ -56,3 +60,4 @@ pub use afft_isa as isa;
 pub use afft_num as num;
 pub use afft_planner as planner;
 pub use afft_sim as sim;
+pub use afft_stream as stream;

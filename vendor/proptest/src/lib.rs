@@ -2,7 +2,8 @@
 //!
 //! The build environment has no access to the crates.io registry, so this
 //! workspace vendors the slice of the proptest API its property tests
-//! use: the [`Strategy`] trait with `prop_map`, [`arbitrary::any`],
+//! use: the [`Strategy`](strategy::Strategy) trait with `prop_map`,
+//! [`arbitrary::any`],
 //! range and tuple strategies, [`collection::vec`], `Just`,
 //! `prop_oneof!`, and the `proptest!` / `prop_assert*!` / `prop_assume!`
 //! macros.
@@ -292,7 +293,7 @@ pub mod collection {
         max: usize,
     }
 
-    /// Length specifications accepted by [`vec`].
+    /// Length specifications accepted by [`vec()`].
     pub trait IntoSizeRange {
         /// Returns the inclusive `(min, max)` length bounds.
         fn bounds(self) -> (usize, usize);
