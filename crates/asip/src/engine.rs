@@ -156,11 +156,14 @@ impl FftEngine for AsipEngine {
 }
 
 /// [`EngineRegistry::standard`] plus the cycle-accurate ASIP backend
-/// (for sizes the array structure supports).
+/// (for sizes the array structure supports; composite 5-smooth sizes
+/// pass through with the software registry only — the array structure
+/// is power-of-two by construction).
 ///
 /// # Errors
 ///
-/// Returns [`FftError::InvalidSize`] unless `n` is a power of two `>= 2`.
+/// Returns [`FftError::InvalidSize`] unless `EngineRegistry::supports`
+/// holds for `n` (`n >= 2` with prime factors in {2, 3, 5}).
 ///
 /// # Examples
 ///

@@ -21,7 +21,14 @@
 //! ```
 //!
 //! The closing summary reports the best `into`-vs-`alloc` speedup on
-//! `array_fft`, the engine the batch pipeline plans onto most often.
+//! `array_fft`, the engine the batch pipeline plans onto most often,
+//! and the mixed-radix family's edge over the radix-2 reference at
+//! N = 1024 (`split_radix`/`radix4_dit` vs `radix2_dit`, all on the
+//! `execute_into` path).
+//!
+//! The size grid includes composite (non-power-of-two) bins — 1200 in
+//! `--smoke`, 1536 in the full run — where only `mixed_radix` serves
+//! the transform, so the LTE-style sizes stay on the hot-path radar.
 
 use afft_bench::row;
 use afft_bench::workload::random_signal;
@@ -86,11 +93,17 @@ fn alloc_path_tps(name: &str, n: usize, x: &[Complex<f64>], budget: Duration) ->
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let smoke = std::env::args().any(|a| a == "--smoke");
-    let sizes: &[usize] = if smoke { &[64, 256] } else { &[64, 128, 256, 512, 1024] };
+    let sizes: &[usize] = if smoke { &[64, 256, 1200] } else { &[64, 128, 256, 512, 1024, 1536] };
     let budget = Duration::from_millis(if smoke { 5 } else { 150 });
 
     let widths = [12usize, 12, 12, 12, 12];
-    let mut best_array = (0.0f64, 0usize); // (speedup, n)
+    // Headline observables: array_fft's into-vs-alloc peak as
+    // (speedup, n), and — for the mixed-radix acceptance gate — the
+    // fastest of split_radix/radix4_dit over radix2_dit at N = 1024 on
+    // the into path, as (into/s, engine).
+    let mut best_array = (0.0f64, 0usize);
+    let mut radix2_1024 = 0.0f64;
+    let mut best_mixed_family = (0.0f64, "");
     for &n in sizes {
         let mut registry = EngineRegistry::standard(n)?;
         let names: Vec<String> = registry.names().iter().map(|s| s.to_string()).collect();
@@ -135,6 +148,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     best_array = (s, n);
                 }
             }
+            if n == 1024 {
+                if name == "radix2_dit" {
+                    radix2_1024 = into_tps;
+                }
+                if (name == "split_radix" || name == "radix4_dit") && into_tps > best_mixed_family.0
+                {
+                    best_mixed_family = (
+                        into_tps,
+                        if name == "split_radix" { "split_radix" } else { "radix4_dit" },
+                    );
+                }
+            }
             println!(
                 "{}",
                 row(
@@ -156,6 +181,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "array_fft: execute_into peaks at {:.2}x the allocating path (N = {})",
         best_array.0, best_array.1
     );
+    if radix2_1024 > 0.0 && best_mixed_family.0 > 0.0 {
+        println!(
+            "{}: {:.2}x radix2_dit at N = 1024 (into-path)",
+            best_mixed_family.1,
+            best_mixed_family.0 / radix2_1024
+        );
+    }
     // The acceptance bar of the refactor, enforced after the full
     // report is printed (never mid-table), and only where the timing
     // is meaningful: a full run of an optimized build. The --smoke
@@ -166,6 +198,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "FAIL: execute_into must reach 1.5x the allocating path on array_fft \
              for some N >= 256, got {:.2}x",
             best_array.0
+        );
+        std::process::exit(1);
+    }
+    // The mixed-radix family's acceptance bar: the plan-time-twiddle
+    // power-of-two kernels must beat the radix-2 reference by >= 1.2x
+    // at N = 1024 (same caveats as above: full optimized runs only).
+    if !smoke && !cfg!(debug_assertions) && best_mixed_family.0 < 1.2 * radix2_1024 {
+        eprintln!(
+            "FAIL: split_radix/radix4_dit must reach 1.2x radix2_dit at N = 1024, got {:.2}x",
+            best_mixed_family.0 / radix2_1024
         );
         std::process::exit(1);
     }

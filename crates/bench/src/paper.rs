@@ -228,7 +228,18 @@ mod tests {
     fn survey_works_below_the_array_threshold() {
         let reports = survey(16, 1).expect("survey");
         let names: Vec<&str> = reports.iter().map(|r| r.name.as_str()).collect();
-        assert_eq!(names, ["dft_naive", "radix2_dit", "radix2_dif", "mcfft"]);
+        assert_eq!(
+            names,
+            [
+                "dft_naive",
+                "radix2_dit",
+                "radix2_dif",
+                "radix4_dit",
+                "split_radix",
+                "mcfft",
+                "mixed_radix"
+            ]
+        );
         assert!(reports.iter().all(EngineReport::within_tolerance));
     }
 }

@@ -63,11 +63,14 @@ use crate::array::ArrayFft;
 use crate::cached::{cached_fft_into, plain_fft_traffic, CachedFftScratch, MemTraffic};
 use crate::error::FftError;
 use crate::mcfft::{mcfft_into, Epochs, McfftScratch};
+use crate::mixed::{factorize, mixed_radix_into, MixedRadixPlan};
 use crate::plan::Split;
+use crate::radix4::{is_power_of_four, radix4_dit_into, Radix4Plan};
 use crate::realfft::RealFft;
 use crate::reference::{
     bit_reverse_permute, dft_naive_into, fft_radix2_dif_f64, fft_radix2_dit_f64, Direction,
 };
+use crate::splitradix::{split_radix_into, SplitRadixPlan};
 use afft_num::{Complex, C64};
 
 /// A uniform interface over every FFT backend in the workspace.
@@ -284,6 +287,147 @@ impl FftEngine for Radix2DifEngine {
 
     fn traffic(&self) -> Option<MemTraffic> {
         Some(plain_fft_traffic(self.n))
+    }
+}
+
+/// The radix-4 decimation-in-time FFT as an engine (power-of-4 sizes;
+/// ~25% fewer complex multiplies than radix-2, plan-time twiddle
+/// tables).
+#[derive(Debug, Clone)]
+pub struct Radix4DitEngine {
+    plan: Radix4Plan,
+}
+
+impl Radix4DitEngine {
+    /// Plans a radix-4 DIT FFT of size `n` (a power of 4, `>= 4`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::InvalidSize`] otherwise.
+    pub fn new(n: usize) -> Result<Self, FftError> {
+        Ok(Radix4DitEngine { plan: Radix4Plan::new(n)? })
+    }
+}
+
+impl FftEngine for Radix4DitEngine {
+    fn name(&self) -> &str {
+        "radix4_dit"
+    }
+
+    fn len(&self) -> usize {
+        self.plan.len()
+    }
+
+    fn execute_into(
+        &mut self,
+        input: &[C64],
+        output: &mut [C64],
+        dir: Direction,
+    ) -> Result<(), FftError> {
+        radix4_dit_into(&self.plan, input, output, dir)
+    }
+
+    fn traffic(&self) -> Option<MemTraffic> {
+        // In-place combine: one full pass per radix-4 stage, half the
+        // stage count of the radix-2 kernels.
+        let n = self.plan.len();
+        let stages = (n.trailing_zeros() / 2) as usize;
+        Some(MemTraffic { loads: n * stages, stores: n * stages })
+    }
+}
+
+/// The split-radix FFT as an engine (power-of-two sizes; the lowest
+/// known operation count, plan-time twiddle table).
+#[derive(Debug, Clone)]
+pub struct SplitRadixEngine {
+    plan: SplitRadixPlan,
+}
+
+impl SplitRadixEngine {
+    /// Plans a split-radix FFT of size `n` (a power of two, `>= 2`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::InvalidSize`] otherwise.
+    pub fn new(n: usize) -> Result<Self, FftError> {
+        Ok(SplitRadixEngine { plan: SplitRadixPlan::new(n)? })
+    }
+}
+
+impl FftEngine for SplitRadixEngine {
+    fn name(&self) -> &str {
+        "split_radix"
+    }
+
+    fn len(&self) -> usize {
+        self.plan.len()
+    }
+
+    fn execute_into(
+        &mut self,
+        input: &[C64],
+        output: &mut [C64],
+        dir: Direction,
+    ) -> Result<(), FftError> {
+        split_radix_into(&mut self.plan, input, output, dir)
+    }
+
+    fn traffic(&self) -> Option<MemTraffic> {
+        // The L-shaped recursion touches ~3/4 of the points per radix-2
+        // stage equivalent.
+        let n = self.plan.len();
+        let stages = n.trailing_zeros() as usize;
+        Some(MemTraffic { loads: 3 * n * stages / 4, stores: 3 * n * stages / 4 })
+    }
+}
+
+/// The general mixed-radix FFT as an engine: any `n >= 2` with prime
+/// factors in {2, 3, 5} — the only registry backend that serves
+/// composite OFDM sizes like 60, 1200 and 1536.
+#[derive(Debug, Clone)]
+pub struct MixedRadixEngine {
+    plan: MixedRadixPlan,
+}
+
+impl MixedRadixEngine {
+    /// Plans a mixed-radix FFT of size `n` (`n >= 2`, 5-smooth).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::InvalidSize`] otherwise.
+    pub fn new(n: usize) -> Result<Self, FftError> {
+        Ok(MixedRadixEngine { plan: MixedRadixPlan::new(n)? })
+    }
+
+    /// The stage radices the plan factorised `n` into, outermost first.
+    pub fn radices(&self) -> Vec<usize> {
+        self.plan.radices()
+    }
+}
+
+impl FftEngine for MixedRadixEngine {
+    fn name(&self) -> &str {
+        "mixed_radix"
+    }
+
+    fn len(&self) -> usize {
+        self.plan.len()
+    }
+
+    fn execute_into(
+        &mut self,
+        input: &[C64],
+        output: &mut [C64],
+        dir: Direction,
+    ) -> Result<(), FftError> {
+        mixed_radix_into(&mut self.plan, input, output, dir)
+    }
+
+    fn traffic(&self) -> Option<MemTraffic> {
+        // One full load + store pass per factor stage.
+        let n = self.plan.len();
+        let stages = self.plan.radices().len();
+        Some(MemTraffic { loads: n * stages, stores: n * stages })
     }
 }
 
@@ -571,28 +715,54 @@ impl EngineRegistry {
         Self::default()
     }
 
-    /// Every software backend of this crate that supports size `n`:
-    /// always the naive DFT, both radix-2 FFTs and the MCFFT; from
-    /// `n >= 64` (the smallest array-structured size) also the array
-    /// FFT and Baas's cached FFT; from `n >= 128` additionally the
-    /// packed real-input FFT (whose inner complex transform is `n/2`).
+    /// Whether [`EngineRegistry::standard`] supports size `n`: `n >= 2`
+    /// with prime factors in {2, 3, 5}. Every power of two is
+    /// supported (the full radix-2/radix-4/split-radix/epoch family
+    /// registers); composite 5-smooth sizes (60, 1200, 1536, ...) are
+    /// served by `mixed_radix`. Sizes with a prime factor beyond 5 are
+    /// reported unsupported here and rejected by `standard` — never a
+    /// silently near-empty registry.
+    pub fn supports(n: usize) -> bool {
+        factorize(n).is_some()
+    }
+
+    /// Every software backend of this crate that supports size `n`.
+    /// For any supported `n` (see [`EngineRegistry::supports`]): the
+    /// naive DFT and the general `mixed_radix` engine. For powers of
+    /// two additionally both radix-2 FFTs, `split_radix` and the MCFFT
+    /// (`radix4_dit` on powers of 4); from `n >= 64` (the smallest
+    /// array-structured size) the array FFT and Baas's cached FFT;
+    /// from `n >= 128` the packed real-input FFT (whose inner complex
+    /// transform is `n/2`).
     ///
     /// # Errors
     ///
-    /// Returns [`FftError::InvalidSize`] unless `n` is a power of two
-    /// `>= 2`.
+    /// Returns [`FftError::InvalidSize`] unless
+    /// [`EngineRegistry::supports`] holds for `n` (`n >= 2`, 5-smooth).
     pub fn standard(n: usize) -> Result<Self, FftError> {
-        check_pow2_size(n)?;
+        if !Self::supports(n) {
+            return Err(FftError::InvalidSize {
+                n,
+                reason: "no registered backend (need n >= 2 with prime factors in {2, 3, 5})",
+            });
+        }
         let mut registry = EngineRegistry::new();
         registry.register(Box::new(NaiveDftEngine::new(n)?));
-        registry.register(Box::new(Radix2DitEngine::new(n)?));
-        registry.register(Box::new(Radix2DifEngine::new(n)?));
-        registry.register(Box::new(McfftEngine::new(n)?));
+        if n.is_power_of_two() {
+            registry.register(Box::new(Radix2DitEngine::new(n)?));
+            registry.register(Box::new(Radix2DifEngine::new(n)?));
+            if is_power_of_four(n) {
+                registry.register(Box::new(Radix4DitEngine::new(n)?));
+            }
+            registry.register(Box::new(SplitRadixEngine::new(n)?));
+            registry.register(Box::new(McfftEngine::new(n)?));
+        }
+        registry.register(Box::new(MixedRadixEngine::new(n)?));
         if Split::for_size(n).is_ok() {
             registry.register(Box::new(ArrayFft::<f64>::new(n)?));
             registry.register(Box::new(CachedFftEngine::new(n)?));
         }
-        if Split::for_size(n / 2).is_ok() {
+        if n.is_power_of_two() && Split::for_size(n / 2).is_ok() {
             registry.register(Box::new(RealFftEngine::new(n)?));
         }
         Ok(registry)
@@ -680,16 +850,59 @@ mod tests {
 
     #[test]
     fn standard_registry_size_gates() {
-        for n in [8usize, 16, 32] {
+        for n in [8usize, 32] {
             let r = EngineRegistry::standard(n).unwrap();
-            assert_eq!(r.names(), ["dft_naive", "radix2_dit", "radix2_dif", "mcfft"], "n={n}");
+            assert_eq!(
+                r.names(),
+                ["dft_naive", "radix2_dit", "radix2_dif", "split_radix", "mcfft", "mixed_radix"],
+                "n={n}"
+            );
         }
+        // Powers of 4 additionally carry the radix-4 kernel.
+        let r = EngineRegistry::standard(16).unwrap();
+        assert_eq!(
+            r.names(),
+            [
+                "dft_naive",
+                "radix2_dit",
+                "radix2_dif",
+                "radix4_dit",
+                "split_radix",
+                "mcfft",
+                "mixed_radix"
+            ]
+        );
         let r = EngineRegistry::standard(64).unwrap();
         assert_eq!(
             r.names(),
-            ["dft_naive", "radix2_dit", "radix2_dif", "mcfft", "array_fft", "cached_fft"]
+            [
+                "dft_naive",
+                "radix2_dit",
+                "radix2_dif",
+                "radix4_dit",
+                "split_radix",
+                "mcfft",
+                "mixed_radix",
+                "array_fft",
+                "cached_fft"
+            ]
         );
-        for n in [128usize, 256, 1024] {
+        let r = EngineRegistry::standard(128).unwrap();
+        assert_eq!(
+            r.names(),
+            [
+                "dft_naive",
+                "radix2_dit",
+                "radix2_dif",
+                "split_radix",
+                "mcfft",
+                "mixed_radix",
+                "array_fft",
+                "cached_fft",
+                "real_fft"
+            ]
+        );
+        for n in [256usize, 1024] {
             let r = EngineRegistry::standard(n).unwrap();
             assert_eq!(
                 r.names(),
@@ -697,7 +910,10 @@ mod tests {
                     "dft_naive",
                     "radix2_dit",
                     "radix2_dif",
+                    "radix4_dit",
+                    "split_radix",
                     "mcfft",
+                    "mixed_radix",
                     "array_fft",
                     "cached_fft",
                     "real_fft"
@@ -705,8 +921,48 @@ mod tests {
                 "n={n}"
             );
         }
+        // Composite 5-smooth sizes: the naive reference plus the
+        // mixed-radix engine.
+        for n in [60usize, 243, 1200, 1536] {
+            let r = EngineRegistry::standard(n).unwrap();
+            assert_eq!(r.names(), ["dft_naive", "mixed_radix"], "n={n}");
+        }
         assert!(EngineRegistry::standard(0).is_err());
-        assert!(EngineRegistry::standard(48).is_err());
+        assert!(EngineRegistry::standard(1).is_err());
+    }
+
+    #[test]
+    fn supported_sizes_are_reported_explicitly() {
+        // 5-smooth sizes are supported; anything with a larger prime
+        // factor is rejected up front (never a near-empty registry).
+        for n in [2usize, 8, 48, 60, 64, 120, 243, 600, 1200, 1536] {
+            assert!(EngineRegistry::supports(n), "{n}");
+            assert!(EngineRegistry::standard(n).is_ok(), "{n}");
+        }
+        for n in [0usize, 1, 7, 14, 49, 77, 1022] {
+            assert!(!EngineRegistry::supports(n), "{n}");
+            assert!(
+                matches!(EngineRegistry::standard(n), Err(FftError::InvalidSize { .. })),
+                "{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn composite_registry_engines_agree_with_the_naive_dft() {
+        for n in [48usize, 60, 243, 1200] {
+            let mut registry = EngineRegistry::standard(n).unwrap();
+            let x = random_signal(n, n as u64);
+            for dir in [Direction::Forward, Direction::Inverse] {
+                let want = dft_naive(&x, dir).unwrap();
+                let peak = want.iter().map(|c| c.abs()).fold(0.0, f64::max);
+                for engine in registry.engines_mut() {
+                    let got = engine.execute(&x, dir).unwrap();
+                    let err = max_error(&got, &want) / peak;
+                    assert!(err < engine.tolerance(), "{} at n={n} {dir:?}: {err}", engine.name());
+                }
+            }
+        }
     }
 
     #[test]

@@ -20,6 +20,10 @@
 //! * [`reference`](mod@reference), [`cached`], [`mcfft`] — the naive DFT, radix-2 FFTs,
 //!   Baas's cached FFT and the variable-epoch MCFFT, used as golden
 //!   references and comparison baselines;
+//! * [`radix4`], [`splitradix`], [`mixed`] — the mixed-radix kernel
+//!   family: radix-4 DIT (power-of-4), split-radix (power-of-two,
+//!   lowest known op count) and the general {2, 3, 4, 5} mixed-radix
+//!   engine that serves composite OFDM sizes (60, 1200, 1536, ...);
 //! * [`engine`] — the [`FftEngine`] trait and [`EngineRegistry`]: every
 //!   backend above behind one polymorphic execute interface (the
 //!   cycle-accurate ISS registers through `afft_asip`).
@@ -49,12 +53,15 @@ pub mod engine;
 pub mod error;
 pub mod matrix;
 pub mod mcfft;
+pub mod mixed;
 pub mod ofdm;
 pub mod plan;
+pub mod radix4;
 pub mod realfft;
 pub mod reference;
 pub mod rom;
 pub mod snr;
+pub mod splitradix;
 pub mod stage;
 pub mod window;
 

@@ -1,0 +1,209 @@
+//! Split-radix FFT for power-of-two sizes — the lowest known
+//! operation count among practical power-of-two FFT algorithms
+//! (~4N log2 N real operations versus the radix-2 algorithm's
+//! ~5N log2 N).
+//!
+//! The decomposition splits an `N`-point DFT into one `N/2`-point DFT
+//! over the even samples and two `N/4`-point DFTs over the `4m+1` and
+//! `4m+3` samples:
+//!
+//! ```text
+//! X[k]        = U[k] + (W^k Z[k] + W^{3k} Z'[k])
+//! X[k + N/2]  = U[k] - (W^k Z[k] + W^{3k} Z'[k])
+//! X[k + N/4]  = U[k + N/4] ∓ i (W^k Z[k] - W^{3k} Z'[k])
+//! X[k + 3N/4] = U[k + N/4] ± i (W^k Z[k] - W^{3k} Z'[k])
+//! ```
+//!
+//! (upper signs forward, lower inverse). The recursion reads the input
+//! through an `(offset, stride)` view — no gather pass — and writes
+//! each level's three sub-spectra into a plan-owned scratch arena, so
+//! execution allocates nothing. All `W_N^k` twiddles come from one
+//! plan-time table.
+
+use crate::error::FftError;
+use crate::reference::{check_pow2, Direction};
+use afft_num::{twiddle, Complex, C64};
+
+/// Plan-time state of the split-radix kernel: the full `W_N^k` twiddle
+/// table (forward; the inverse conjugates on the fly) and the recursion
+/// scratch arena (`2N` points: `N` for the current level's sub-spectra,
+/// `N` shared by the sub-recursions).
+#[derive(Debug, Clone)]
+pub struct SplitRadixPlan {
+    n: usize,
+    tw: Vec<C64>,
+    scratch: Vec<C64>,
+}
+
+impl SplitRadixPlan {
+    /// Plans a split-radix FFT of size `n` (a power of two, `>= 2`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::InvalidSize`] otherwise.
+    pub fn new(n: usize) -> Result<Self, FftError> {
+        check_pow2(n)?;
+        let tw = (0..n).map(|k| twiddle(n, k)).collect();
+        Ok(SplitRadixPlan { n, tw, scratch: vec![Complex::zero(); 2 * n] })
+    }
+
+    /// The planned transform size.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Never true for a plan (`n >= 2`).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+}
+
+/// Executes the planned split-radix FFT into `output` (natural bin
+/// order, unnormalised-DFT contract, no heap allocation).
+///
+/// Takes `&mut` the plan for its scratch arena only; the twiddle table
+/// is never written.
+///
+/// # Errors
+///
+/// Returns [`FftError::LengthMismatch`] if either buffer is not
+/// `plan.len()` points.
+pub fn split_radix_into(
+    plan: &mut SplitRadixPlan,
+    input: &[C64],
+    output: &mut [C64],
+    dir: Direction,
+) -> Result<(), FftError> {
+    let n = plan.n;
+    if input.len() != n {
+        return Err(FftError::LengthMismatch { expected: n, got: input.len() });
+    }
+    if output.len() != n {
+        return Err(FftError::LengthMismatch { expected: n, got: output.len() });
+    }
+    let mut scratch = core::mem::take(&mut plan.scratch);
+    rec(&plan.tw, n, input, 0, 1, output, &mut scratch, dir == Direction::Forward);
+    plan.scratch = scratch;
+    Ok(())
+}
+
+/// One recursion level: the DFT of `x[offset + stride*m]` for
+/// `m in 0..out.len()`, written to `out`. `n_total` and `tw` address
+/// the shared top-level twiddle table (`W_len^k = W_N^{k * N/len}`).
+#[allow(clippy::too_many_arguments)]
+fn rec(
+    tw: &[C64],
+    n_total: usize,
+    input: &[C64],
+    offset: usize,
+    stride: usize,
+    out: &mut [C64],
+    scratch: &mut [C64],
+    forward: bool,
+) {
+    let len = out.len();
+    if len == 1 {
+        out[0] = input[offset];
+        return;
+    }
+    if len == 2 {
+        let a = input[offset];
+        let b = input[offset + stride];
+        out[0] = a + b;
+        out[1] = a - b;
+        return;
+    }
+    let half = len / 2;
+    let quarter = len / 4;
+    let (cur, rest) = scratch.split_at_mut(len);
+    {
+        let (u, zz) = cur.split_at_mut(half);
+        let (z, zp) = zz.split_at_mut(quarter);
+        rec(tw, n_total, input, offset, stride * 2, u, rest, forward);
+        rec(tw, n_total, input, offset + stride, stride * 4, z, rest, forward);
+        rec(tw, n_total, input, offset + 3 * stride, stride * 4, zp, rest, forward);
+    }
+    // cur = [U (half) | Z (quarter) | Z' (quarter)]; combine into out.
+    let step = n_total / len; // W_len^k = tw[k * step]
+    for k in 0..quarter {
+        let (w1, w3) = {
+            let a = tw[k * step];
+            let b = tw[3 * k * step % n_total];
+            if forward {
+                (a, b)
+            } else {
+                (a.conj(), b.conj())
+            }
+        };
+        let t1 = cur[half + k] * w1;
+        let t2 = cur[half + quarter + k] * w3;
+        let sum = t1 + t2;
+        let diff = t1 - t2;
+        let rot = if forward { diff.mul_neg_i() } else { diff.mul_i() };
+        let u0 = cur[k];
+        let u1 = cur[k + quarter];
+        out[k] = u0 + sum;
+        out[k + half] = u0 - sum;
+        out[k + quarter] = u1 + rot;
+        out[k + 3 * quarter] = u1 - rot;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::{dft_naive, max_error};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_signal(n: usize, seed: u64) -> Vec<C64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect()
+    }
+
+    #[test]
+    fn matches_naive_both_directions() {
+        for n in [2usize, 4, 8, 16, 32, 128, 512, 1024] {
+            let mut plan = SplitRadixPlan::new(n).unwrap();
+            let x = random_signal(n, 23 + n as u64);
+            let mut got = vec![Complex::zero(); n];
+            for dir in [Direction::Forward, Direction::Inverse] {
+                let want = dft_naive(&x, dir).unwrap();
+                split_radix_into(&mut plan, &x, &mut got, dir).unwrap();
+                let peak = want.iter().map(|c| c.abs()).fold(0.0, f64::max);
+                assert!(max_error(&got, &want) / peak < 1e-12, "n={n} {dir:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_recovers_input() {
+        let n = 512;
+        let mut plan = SplitRadixPlan::new(n).unwrap();
+        let x = random_signal(n, 5);
+        let mut spec = vec![Complex::zero(); n];
+        let mut back = vec![Complex::zero(); n];
+        split_radix_into(&mut plan, &x, &mut spec, Direction::Forward).unwrap();
+        split_radix_into(&mut plan, &spec, &mut back, Direction::Inverse).unwrap();
+        let scaled: Vec<C64> = back.iter().map(|&v| v * (1.0 / n as f64)).collect();
+        assert!(max_error(&scaled, &x) < 1e-10);
+    }
+
+    #[test]
+    fn rejects_invalid_sizes() {
+        for n in [0usize, 1, 12, 60] {
+            assert!(matches!(SplitRadixPlan::new(n), Err(FftError::InvalidSize { .. })), "{n}");
+        }
+    }
+
+    #[test]
+    fn length_mismatch_is_reported() {
+        let mut plan = SplitRadixPlan::new(64).unwrap();
+        let x = random_signal(64, 1);
+        let mut short = vec![Complex::zero(); 32];
+        assert!(matches!(
+            split_radix_into(&mut plan, &x, &mut short, Direction::Forward),
+            Err(FftError::LengthMismatch { expected: 64, got: 32 })
+        ));
+    }
+}

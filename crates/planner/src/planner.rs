@@ -340,6 +340,27 @@ fn measure_rank(
     })
 }
 
+/// Per-point operation count of one mixed-radix transform: the sum of
+/// per-stage butterfly costs over `n`'s {4, 2, 3, 5} factor stages
+/// (radix-4 spends ~1.7 ops/point/stage with only `±i` rotations,
+/// radix-3 and radix-5 pay their constant rotations). Falls back to a
+/// generic `log2 n` for sizes the factoriser rejects, so the model
+/// never panics on a foreign registry.
+fn mixed_radix_stage_cost(n: usize) -> f64 {
+    match afft_core::mixed::factorize(n) {
+        Some(radices) => radices
+            .iter()
+            .map(|r| match r {
+                2 => 1.0,
+                3 => 1.9,
+                4 => 1.7,
+                _ => 3.2,
+            })
+            .sum(),
+        None => (usize::BITS - n.leading_zeros()).saturating_sub(1) as f64,
+    }
+}
+
 /// Rough per-point-operation cost of the f64 software backends, ns.
 const HOST_OP_NS: f64 = 2.0;
 /// Rough cost of moving one complex point through main memory, ns.
@@ -363,6 +384,16 @@ fn estimate_rank(engine: &dyn FftEngine) -> EngineRank {
             "dft_naive" => nf * nf,
             "radix2_dit" => nf * log2n,
             "radix2_dif" => 1.1 * nf * log2n, // + bit-reverse pass
+            // The mixed-radix family: split-radix holds the lowest
+            // known power-of-two op count (~4/5 of radix-2 multiplies
+            // with plan-time twiddles beating the per-butterfly
+            // cos/sin of the radix-2 reference); radix-4 saves ~25% of
+            // the complex multiplies over radix-2.
+            "split_radix" => 0.67 * nf * log2n,
+            "radix4_dit" => 0.75 * nf * log2n,
+            // General mixed radix: per-point cost of one stage grows
+            // with its radix (hardcoded {2,3,4,5} butterflies).
+            "mixed_radix" => nf * mixed_radix_stage_cost(n),
             "array_fft" => 1.15 * nf * log2n, // group bookkeeping
             "cached_fft" => 1.2 * nf * log2n,
             "mcfft" => 1.25 * nf * log2n, // per-epoch twiddle passes
@@ -406,7 +437,7 @@ mod tests {
         let mut planner = Planner::new().with_measure_reps(1);
         let plan = planner.plan(64, Strategy::Measure).unwrap();
         assert!(!plan.from_wisdom);
-        assert_eq!(plan.ranking.len(), 6);
+        assert_eq!(plan.ranking.len(), EngineRegistry::standard(64).unwrap().len());
         assert!(plan.ranking.iter().all(|r| r.wall_ns.is_some()));
         assert_eq!(planner.wisdom().len(), 1);
         // Second call replays the wisdom without re-measuring.
@@ -414,6 +445,24 @@ mod tests {
         assert!(replay.from_wisdom);
         assert_eq!(replay.best().name, plan.best().name);
         assert_eq!(replay.ranking.len(), plan.ranking.len());
+    }
+
+    #[test]
+    fn composite_sizes_plan_through_the_same_path() {
+        let mut planner = Planner::new().with_measure_reps(1);
+        // Estimate at an LTE-like composite size: the mixed-radix
+        // engine must beat the O(N^2) reference.
+        let plan = planner.plan(1200, Strategy::Estimate).unwrap();
+        assert_eq!(plan.ranking.len(), EngineRegistry::standard(1200).unwrap().len());
+        assert_eq!(plan.best().name, "mixed_radix");
+        assert_eq!(plan.ranking.last().unwrap().name, "dft_naive");
+        // Measure at a small composite size ranks and caches wisdom.
+        let measured = planner.plan(60, Strategy::Measure).unwrap();
+        assert!(measured.ranking.iter().all(|r| r.wall_ns.is_some()));
+        let engine = planner.engine(&measured).unwrap();
+        assert_eq!(engine.len(), 60);
+        // Unsupported sizes surface the registry's explicit error.
+        assert!(planner.plan(1022, Strategy::Estimate).is_err());
     }
 
     #[test]

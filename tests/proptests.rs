@@ -7,11 +7,23 @@ use afft::core::address::{
     natural_bin_to_transposed, sigma, transposed_to_natural_bin,
 };
 use afft::core::bits::{bit_reverse, BitPerm};
+use afft::core::engine::EngineRegistry;
 use afft::core::reference::{dft_naive, max_error, Direction};
 use afft::core::rom::{resolve_prerot, PrerotTable};
 use afft::core::{ArrayFft, Split};
-use afft::num::{twiddle, Complex, Q15};
+use afft::num::{twiddle, Complex, C64, Q15};
 use proptest::prelude::*;
+
+/// The size grid the engine-family law tests sample: powers of two
+/// alongside the composite 5-smooth sizes the mixed-radix engine adds.
+const ENGINE_LAW_SIZES: [usize; 8] = [8, 12, 16, 20, 30, 60, 64, 120];
+
+/// Deterministic random signal for the engine-law tests.
+fn law_signal(n: usize, seed: u64) -> Vec<C64> {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..n).map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect()
+}
 
 proptest! {
     #[test]
@@ -166,6 +178,94 @@ proptest! {
         let got = fft.process(&x, Direction::Forward).expect("fft");
         let want = dft_naive(&x, Direction::Forward).expect("naive");
         prop_assert!(max_error(&got, &want) < 1e-7 * n as f64);
+    }
+
+    /// DFT linearity, for **every** registry engine at power-of-two and
+    /// composite sizes alike: `F(a·x + b·y) = a·F(x) + b·F(y)` within
+    /// the engine's own tolerance.
+    #[test]
+    fn dft_linearity_holds_for_every_engine(
+        size_idx in 0usize..ENGINE_LAW_SIZES.len(),
+        seed in 0u64..1000,
+        ar in -2.0f64..2.0, ai in -2.0f64..2.0,
+        br in -2.0f64..2.0, bi in -2.0f64..2.0,
+    ) {
+        let n = ENGINE_LAW_SIZES[size_idx];
+        let a = Complex::new(ar, ai);
+        let b = Complex::new(br, bi);
+        let x = law_signal(n, seed);
+        let y = law_signal(n, seed ^ 0xdead_beef);
+        let combo: Vec<C64> =
+            x.iter().zip(&y).map(|(&xv, &yv)| xv * a + yv * b).collect();
+        let mut registry = EngineRegistry::standard(n).expect("supported size");
+        for engine in registry.engines_mut() {
+            let fx = engine.execute(&x, Direction::Forward).unwrap();
+            let fy = engine.execute(&y, Direction::Forward).unwrap();
+            let fc = engine.execute(&combo, Direction::Forward).unwrap();
+            let want: Vec<C64> =
+                fx.iter().zip(&fy).map(|(&u, &v)| u * a + v * b).collect();
+            // Guard the denominator: a near-cancelling (a, b) draw must
+            // not turn roundoff into a huge relative error.
+            let peak =
+                want.iter().map(|c| c.abs()).fold(0.0, f64::max).max(1e-3 * n as f64);
+            let err = max_error(&fc, &want) / peak;
+            prop_assert!(
+                err < 4.0 * engine.tolerance(),
+                "{} linearity at n={}: {}", engine.name(), n, err
+            );
+        }
+    }
+
+    /// Parseval energy conservation for every registry engine:
+    /// `sum |X[k]|^2 = N · sum |x[m]|^2` (unnormalised forward DFT).
+    #[test]
+    fn parseval_holds_for_every_engine(
+        size_idx in 0usize..ENGINE_LAW_SIZES.len(),
+        seed in 0u64..1000,
+    ) {
+        let n = ENGINE_LAW_SIZES[size_idx];
+        let x = law_signal(n, seed.wrapping_add(77));
+        let ex: f64 = x.iter().map(|c| c.norm_sqr()).sum();
+        let mut registry = EngineRegistry::standard(n).expect("supported size");
+        for engine in registry.engines_mut() {
+            let fx = engine.execute(&x, Direction::Forward).unwrap();
+            let ey: f64 = fx.iter().map(|c| c.norm_sqr()).sum();
+            let rel = (ey - ex * n as f64).abs() / (ex * n as f64);
+            prop_assert!(
+                rel < 100.0 * engine.tolerance(),
+                "{} parseval at n={}: {}", engine.name(), n, rel
+            );
+        }
+    }
+
+    /// Time-shift ↔ phase-ramp duality for every registry engine:
+    /// `x((m + s) mod N) ↔ X[k] · conj(W_N^{ks})`.
+    #[test]
+    fn time_shift_phase_ramp_duality_holds_for_every_engine(
+        size_idx in 0usize..ENGINE_LAW_SIZES.len(),
+        raw_shift in 1usize..4096,
+        seed in 0u64..1000,
+    ) {
+        let n = ENGINE_LAW_SIZES[size_idx];
+        let shift = 1 + raw_shift % (n - 1);
+        let x = law_signal(n, seed.wrapping_add(131));
+        let shifted: Vec<C64> = (0..n).map(|m| x[(m + shift) % n]).collect();
+        let mut registry = EngineRegistry::standard(n).expect("supported size");
+        for engine in registry.engines_mut() {
+            let fx = engine.execute(&x, Direction::Forward).unwrap();
+            let fs = engine.execute(&shifted, Direction::Forward).unwrap();
+            let want: Vec<C64> = fx
+                .iter()
+                .enumerate()
+                .map(|(k, &v)| v * twiddle(n, k * shift % n).conj())
+                .collect();
+            let peak = want.iter().map(|c| c.abs()).fold(0.0, f64::max).max(1.0);
+            let err = max_error(&fs, &want) / peak;
+            prop_assert!(
+                err < 4.0 * engine.tolerance(),
+                "{} shift duality at n={} s={}: {}", engine.name(), n, shift, err
+            );
+        }
     }
 
     #[test]
