@@ -22,24 +22,32 @@
 //!
 //! The closing summary reports the best `into`-vs-`alloc` speedup on
 //! `array_fft`, the engine the batch pipeline plans onto most often,
-//! and the mixed-radix family's edge over the radix-2 reference at
+//! the mixed-radix family's edge over the radix-2 reference at
 //! N = 1024 (`split_radix`/`radix4_dit` vs `radix2_dit`, all on the
-//! `execute_into` path).
+//! `execute_into` path), and — on hosts with a vector unit — the SIMD
+//! tier's edge over the best scalar engine at N = 1024.
 //!
 //! The size grid includes composite (non-power-of-two) bins — 1200 in
 //! `--smoke`, 1536 in the full run — where only `mixed_radix` serves
 //! the transform, so the LTE-style sizes stay on the hot-path radar.
+//!
+//! A full (non-smoke) run additionally writes every arm to
+//! `BENCH_throughput.json` — per-engine transforms/sec by size, the
+//! host's detected SIMD level, and a unix timestamp (`--stamp <secs>`
+//! to pin it; defaults to the system clock) — so dashboards and
+//! regression tooling consume the run without screen-scraping the
+//! table.
 
-use afft_bench::row;
 use afft_bench::workload::random_signal;
+use afft_bench::{json, row};
 use afft_core::cached::cached_fft;
 use afft_core::engine::{EngineRegistry, McfftEngine};
 use afft_core::mcfft::mcfft;
 use afft_core::reference::{bit_reverse_permute, fft_radix2_dif_f64, fft_radix2_dit_f64};
-use afft_core::{ArrayFft, Direction};
+use afft_core::{simd, ArrayFft, Direction};
 use afft_num::Complex;
 use std::hint::black_box;
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 /// Calls `f` repeatedly for roughly `budget`, returning calls/sec.
 fn tps(budget: Duration, mut f: impl FnMut()) -> f64 {
@@ -92,18 +100,32 @@ fn alloc_path_tps(name: &str, n: usize, x: &[Complex<f64>], budget: Duration) ->
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    // `--stamp <secs>` pins the artifact's timestamp (reproducible CI
+    // artifacts); otherwise the system clock stamps the run.
+    let stamp = args
+        .iter()
+        .position(|a| a == "--stamp")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or_else(|| SystemTime::now().duration_since(UNIX_EPOCH).map_or(0, |d| d.as_secs()));
     let sizes: &[usize] = if smoke { &[64, 256, 1200] } else { &[64, 128, 256, 512, 1024, 1536] };
     let budget = Duration::from_millis(if smoke { 5 } else { 150 });
 
-    let widths = [12usize, 12, 12, 12, 12];
+    let widths = [16usize, 12, 12, 12, 12];
     // Headline observables: array_fft's into-vs-alloc peak as
-    // (speedup, n), and — for the mixed-radix acceptance gate — the
-    // fastest of split_radix/radix4_dit over radix2_dit at N = 1024 on
-    // the into path, as (into/s, engine).
+    // (speedup, n); for the mixed-radix acceptance gate the fastest of
+    // split_radix/radix4_dit over radix2_dit at N = 1024 on the into
+    // path, as (into/s, engine); for the SIMD gate the radix4_simd
+    // into-rate versus the best scalar engine at N = 1024.
     let mut best_array = (0.0f64, 0usize);
     let mut radix2_1024 = 0.0f64;
     let mut best_mixed_family = (0.0f64, "");
+    let mut best_scalar_1024 = (0.0f64, String::new());
+    let mut radix4_simd_1024 = 0.0f64;
+    // One flat record per (engine, n) arm set, for the JSON artifact.
+    let mut records: Vec<String> = Vec::new();
     for &n in sizes {
         let mut registry = EngineRegistry::standard(n)?;
         let names: Vec<String> = registry.names().iter().map(|s| s.to_string()).collect();
@@ -159,7 +181,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                         if name == "split_radix" { "split_radix" } else { "radix4_dit" },
                     );
                 }
+                // The SIMD gate compares radix4_simd against the best
+                // *scalar* engine (every non-SIMD N log N backend).
+                if name == "radix4_simd" {
+                    radix4_simd_1024 = into_tps;
+                } else if !name.ends_with("_simd") && into_tps > best_scalar_1024.0 {
+                    best_scalar_1024 = (into_tps, name.clone());
+                }
             }
+            records.push(
+                json::Obj::new()
+                    .num("n", n as f64)
+                    .str("engine", &name)
+                    .raw("alloc_tps", alloc_tps.map_or("null".into(), json::num))
+                    .num("wrap_tps", wrap_tps)
+                    .num("into_tps", into_tps)
+                    .finish(),
+            );
             println!(
                 "{}",
                 row(
@@ -188,6 +226,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             best_mixed_family.0 / radix2_1024
         );
     }
+    let simd_level = simd::active_level();
+    let simd_speedup = (radix4_simd_1024 > 0.0 && best_scalar_1024.0 > 0.0)
+        .then(|| radix4_simd_1024 / best_scalar_1024.0);
+    if let Some(s) = simd_speedup {
+        println!(
+            "radix4_simd [{}]: {:.2}x the best scalar engine ({}) at N = 1024 (into-path)",
+            simd_level.as_str(),
+            s,
+            best_scalar_1024.1
+        );
+    }
     // The acceptance bar of the refactor, enforced after the full
     // report is printed (never mid-table), and only where the timing
     // is meaningful: a full run of an optimized build. The --smoke
@@ -210,6 +259,66 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             best_mixed_family.0 / radix2_1024
         );
         std::process::exit(1);
+    }
+    // The SIMD tier's acceptance bar: radix4_simd must reach 2x the
+    // best scalar engine at N = 1024 — but only where the tier exists.
+    // On hosts without a vector unit (or under AFFT_NO_SIMD) the gate
+    // auto-skips with a logged notice rather than failing vacuously.
+    if !smoke && !cfg!(debug_assertions) {
+        match simd_speedup {
+            Some(s) if s < 2.0 => {
+                eprintln!(
+                    "FAIL: radix4_simd must reach 2.0x the best scalar engine at N = 1024, \
+                     got {s:.2}x over {}",
+                    best_scalar_1024.1
+                );
+                std::process::exit(1);
+            }
+            Some(_) => {}
+            None => {
+                println!(
+                    "SIMD gate skipped: no vector tier in the registry \
+                     (detected level: {}, AFFT_NO_SIMD {})",
+                    simd::detect_host().as_str(),
+                    if simd::simd_suppressed() { "set" } else { "unset" }
+                );
+            }
+        }
+    }
+
+    // Machine-readable artifact, full runs only (smoke budgets are too
+    // noisy to be worth recording).
+    if !smoke {
+        let doc = json::Obj::new()
+            .str("bench", "throughput")
+            .num("stamp_unix", stamp as f64)
+            .raw(
+                "host",
+                json::Obj::new()
+                    .str("arch", std::env::consts::ARCH)
+                    .str("simd_level", simd_level.as_str())
+                    .num("simd_lanes", simd_level.lanes() as f64)
+                    .bool("simd_suppressed", simd::simd_suppressed())
+                    .finish(),
+            )
+            .num("budget_ms", budget.as_millis() as f64)
+            .raw("sizes", json::arr(sizes.iter().map(|&n| json::num(n as f64))))
+            .raw("results", json::arr(records))
+            .raw(
+                "summary",
+                json::Obj::new()
+                    .num("array_fft_best_into_vs_alloc", best_array.0)
+                    .num("array_fft_best_n", best_array.1 as f64)
+                    .raw(
+                        "radix4_simd_vs_best_scalar_1024",
+                        simd_speedup.map_or("null".into(), json::num),
+                    )
+                    .str("best_scalar_1024", &best_scalar_1024.1)
+                    .finish(),
+            )
+            .finish();
+        std::fs::write("BENCH_throughput.json", doc + "\n")?;
+        println!("wrote BENCH_throughput.json");
     }
     Ok(())
 }

@@ -1,0 +1,130 @@
+//! A minimal JSON writer for machine-readable bench artifacts
+//! (`BENCH_*.json`). The workspace carries no serialization dependency,
+//! and the artifacts are flat records of numbers and short identifier
+//! strings, so a two-type builder covers everything the benches emit.
+
+/// Builds one JSON object field-by-field, preserving insertion order.
+#[derive(Debug, Default, Clone)]
+pub struct Obj {
+    fields: Vec<(String, String)>,
+}
+
+impl Obj {
+    /// An empty object builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a pre-rendered JSON value (a nested [`Obj::finish`], an
+    /// [`arr`], a literal).
+    #[must_use]
+    pub fn raw(mut self, key: &str, value: impl Into<String>) -> Self {
+        self.fields.push((key.to_string(), value.into()));
+        self
+    }
+
+    /// Adds a string field, escaped.
+    #[must_use]
+    pub fn str(self, key: &str, value: &str) -> Self {
+        let escaped = esc(value);
+        self.raw(key, escaped)
+    }
+
+    /// Adds a numeric field; non-finite values render as `null` (JSON
+    /// has no NaN/Inf).
+    #[must_use]
+    pub fn num(self, key: &str, value: f64) -> Self {
+        self.raw(key, num(value))
+    }
+
+    /// Adds a boolean field.
+    #[must_use]
+    pub fn bool(self, key: &str, value: bool) -> Self {
+        self.raw(key, if value { "true" } else { "false" })
+    }
+
+    /// Renders the object.
+    pub fn finish(self) -> String {
+        let mut out = String::from("{");
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&esc(k));
+            out.push(':');
+            out.push_str(v);
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Renders a JSON array from pre-rendered element values.
+pub fn arr(items: impl IntoIterator<Item = String>) -> String {
+    let mut out = String::from("[");
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&item);
+    }
+    out.push(']');
+    out
+}
+
+/// Renders a number: finite values in shortest round-trip form,
+/// non-finite as `null`.
+pub fn num(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Escapes and quotes a JSON string.
+pub fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn objects_arrays_and_scalars_render() {
+        let inner = Obj::new().str("engine", "radix4_simd").num("tps", 1234.5).finish();
+        let doc = Obj::new()
+            .str("bench", "throughput")
+            .bool("smoke", false)
+            .raw("results", arr([inner.clone()]))
+            .finish();
+        assert_eq!(inner, r#"{"engine":"radix4_simd","tps":1234.5}"#);
+        assert_eq!(
+            doc,
+            r#"{"bench":"throughput","smoke":false,"results":[{"engine":"radix4_simd","tps":1234.5}]}"#
+        );
+    }
+
+    #[test]
+    fn escapes_and_non_finite() {
+        assert_eq!(esc("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
+        assert_eq!(num(f64::NAN), "null");
+        assert_eq!(num(f64::INFINITY), "null");
+        assert_eq!(num(2.0), "2");
+    }
+}

@@ -70,6 +70,7 @@ use crate::realfft::RealFft;
 use crate::reference::{
     bit_reverse_permute, dft_naive_into, fft_radix2_dif_f64, fft_radix2_dit_f64, Direction,
 };
+use crate::simd::{self, Radix4SimdEngine, SplitRadixSimdEngine};
 use crate::splitradix::{split_radix_into, SplitRadixPlan};
 use afft_num::{Complex, C64};
 
@@ -735,6 +736,14 @@ impl EngineRegistry {
     /// from `n >= 128` the packed real-input FFT (whose inner complex
     /// transform is `n/2`).
     ///
+    /// On hosts with a detected vector unit the SIMD tier registers
+    /// alongside its scalar siblings (from `n >= 16`): `radix4_simd`
+    /// on powers of 4 and `split_radix_simd` on powers of two — unless
+    /// suppressed via `AFFT_NO_SIMD=1` (see
+    /// [`simd::active_level`]). Because the backend-set hash keys
+    /// planner wisdom, suppressing the tier invalidates SIMD-era
+    /// wisdom by construction.
+    ///
     /// # Errors
     ///
     /// Returns [`FftError::InvalidSize`] unless
@@ -746,6 +755,7 @@ impl EngineRegistry {
                 reason: "no registered backend (need n >= 2 with prime factors in {2, 3, 5})",
             });
         }
+        let simd_tier = simd::active_level().is_simd() && n >= 16;
         let mut registry = EngineRegistry::new();
         registry.register(Box::new(NaiveDftEngine::new(n)?));
         if n.is_power_of_two() {
@@ -753,8 +763,14 @@ impl EngineRegistry {
             registry.register(Box::new(Radix2DifEngine::new(n)?));
             if is_power_of_four(n) {
                 registry.register(Box::new(Radix4DitEngine::new(n)?));
+                if simd_tier {
+                    registry.register(Box::new(Radix4SimdEngine::new(n)?));
+                }
             }
             registry.register(Box::new(SplitRadixEngine::new(n)?));
+            if simd_tier {
+                registry.register(Box::new(SplitRadixSimdEngine::new(n)?));
+            }
             registry.register(Box::new(McfftEngine::new(n)?));
         }
         registry.register(Box::new(MixedRadixEngine::new(n)?));
@@ -848,87 +864,67 @@ mod tests {
         (0..n).map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect()
     }
 
+    /// The expected registration order for size `n`, conditioned on
+    /// the host's active SIMD level the same way `standard` is.
+    fn expected_names(n: usize) -> Vec<&'static str> {
+        let simd_tier = simd::active_level().is_simd() && n >= 16;
+        let mut names = vec!["dft_naive"];
+        if n.is_power_of_two() {
+            names.extend(["radix2_dit", "radix2_dif"]);
+            if is_power_of_four(n) {
+                names.push("radix4_dit");
+                if simd_tier {
+                    names.push("radix4_simd");
+                }
+            }
+            names.push("split_radix");
+            if simd_tier {
+                names.push("split_radix_simd");
+            }
+            names.push("mcfft");
+        }
+        names.push("mixed_radix");
+        if Split::for_size(n).is_ok() {
+            names.extend(["array_fft", "cached_fft"]);
+        }
+        if n.is_power_of_two() && Split::for_size(n / 2).is_ok() {
+            names.push("real_fft");
+        }
+        names
+    }
+
     #[test]
     fn standard_registry_size_gates() {
-        for n in [8usize, 32] {
+        // Powers of two below/above the radix-4, array and real-FFT
+        // thresholds, plus composite 5-smooth sizes (naive reference +
+        // mixed_radix only). The SIMD tier appears from n >= 16
+        // exactly when the host detects a vector unit.
+        for n in [8usize, 16, 32, 64, 128, 256, 1024] {
             let r = EngineRegistry::standard(n).unwrap();
-            assert_eq!(
-                r.names(),
-                ["dft_naive", "radix2_dit", "radix2_dif", "split_radix", "mcfft", "mixed_radix"],
-                "n={n}"
-            );
+            assert_eq!(r.names(), expected_names(n), "n={n}");
         }
-        // Powers of 4 additionally carry the radix-4 kernel.
-        let r = EngineRegistry::standard(16).unwrap();
-        assert_eq!(
-            r.names(),
-            [
-                "dft_naive",
-                "radix2_dit",
-                "radix2_dif",
-                "radix4_dit",
-                "split_radix",
-                "mcfft",
-                "mixed_radix"
-            ]
-        );
-        let r = EngineRegistry::standard(64).unwrap();
-        assert_eq!(
-            r.names(),
-            [
-                "dft_naive",
-                "radix2_dit",
-                "radix2_dif",
-                "radix4_dit",
-                "split_radix",
-                "mcfft",
-                "mixed_radix",
-                "array_fft",
-                "cached_fft"
-            ]
-        );
-        let r = EngineRegistry::standard(128).unwrap();
-        assert_eq!(
-            r.names(),
-            [
-                "dft_naive",
-                "radix2_dit",
-                "radix2_dif",
-                "split_radix",
-                "mcfft",
-                "mixed_radix",
-                "array_fft",
-                "cached_fft",
-                "real_fft"
-            ]
-        );
-        for n in [256usize, 1024] {
-            let r = EngineRegistry::standard(n).unwrap();
-            assert_eq!(
-                r.names(),
-                [
-                    "dft_naive",
-                    "radix2_dit",
-                    "radix2_dif",
-                    "radix4_dit",
-                    "split_radix",
-                    "mcfft",
-                    "mixed_radix",
-                    "array_fft",
-                    "cached_fft",
-                    "real_fft"
-                ],
-                "n={n}"
-            );
-        }
-        // Composite 5-smooth sizes: the naive reference plus the
-        // mixed-radix engine.
         for n in [60usize, 243, 1200, 1536] {
             let r = EngineRegistry::standard(n).unwrap();
             assert_eq!(r.names(), ["dft_naive", "mixed_radix"], "n={n}");
         }
         assert!(EngineRegistry::standard(0).is_err());
         assert!(EngineRegistry::standard(1).is_err());
+    }
+
+    #[test]
+    fn simd_tier_registers_exactly_when_detected() {
+        let expect = simd::active_level().is_simd();
+        let r = EngineRegistry::standard(1024).unwrap();
+        assert_eq!(r.get("radix4_simd").is_some(), expect);
+        assert_eq!(r.get("split_radix_simd").is_some(), expect);
+        // Non-power-of-4 keeps split_radix_simd only; below the tier
+        // minimum neither registers.
+        let r = EngineRegistry::standard(32).unwrap();
+        assert!(r.get("radix4_simd").is_none());
+        assert_eq!(r.get("split_radix_simd").is_some(), expect);
+        let r = EngineRegistry::standard(8).unwrap();
+        assert!(r.get("radix4_simd").is_none());
+        assert!(r.get("split_radix_simd").is_none());
     }
 
     #[test]

@@ -24,6 +24,9 @@
 //!   family: radix-4 DIT (power-of-4), split-radix (power-of-two,
 //!   lowest known op count) and the general {2, 3, 4, 5} mixed-radix
 //!   engine that serves composite OFDM sizes (60, 1200, 1536, ...);
+//! * [`simd`] — the vectorized kernel tier: AVX2/NEON variants of the
+//!   radix-4 and split-radix butterflies over split real/imag planes,
+//!   behind runtime feature dispatch (`AFFT_NO_SIMD=1` to suppress);
 //! * [`engine`] — the [`FftEngine`] trait and [`EngineRegistry`]: every
 //!   backend above behind one polymorphic execute interface (the
 //!   cycle-accurate ISS registers through `afft_asip`).
@@ -41,7 +44,14 @@
 //! # Ok::<(), afft_core::FftError>(())
 //! ```
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide and allowed back in exactly one place:
+// the `simd` module's architecture back-ends, which need `std::arch`
+// intrinsics and raw unaligned loads/stores. Those back-ends carry
+// per-call safety contracts and are additionally held to
+// `unsafe_op_in_unsafe_fn`: every unsafe operation inside an `unsafe
+// fn` still needs its own scoped block and SAFETY justification.
+#![deny(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 pub mod address;
@@ -60,6 +70,7 @@ pub mod radix4;
 pub mod realfft;
 pub mod reference;
 pub mod rom;
+pub mod simd;
 pub mod snr;
 pub mod splitradix;
 pub mod stage;

@@ -73,8 +73,9 @@ impl Radix4Plan {
     }
 }
 
-/// Reverses the lowest `digits` base-4 digits of `i`.
-fn digit_reverse_base4(mut i: usize, digits: u32) -> usize {
+/// Reverses the lowest `digits` base-4 digits of `i` (shared with the
+/// SIMD radix-4 engine, whose gather order is identical).
+pub(crate) fn digit_reverse_base4(mut i: usize, digits: u32) -> usize {
     let mut out = 0usize;
     for _ in 0..digits {
         out = (out << 2) | (i & 3);

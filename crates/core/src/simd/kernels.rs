@@ -1,0 +1,222 @@
+//! The portable split-plane kernels: layout passes, twiddle tables in
+//! structure-of-arrays form, and the scalar reference implementations
+//! of the two vectorized butterflies.
+//!
+//! Everything here is safe code over `f64` planes. The architecture
+//! back-ends (`x86`/`neon`) mirror these loops lane-parallel; the
+//! equivalence suite holds them to this reference.
+
+use afft_num::{twiddle, C64};
+
+/// Splits interleaved complex points into separate real/imag planes.
+pub(crate) fn deinterleave(src: &[C64], re: &mut [f64], im: &mut [f64]) {
+    debug_assert!(src.len() == re.len() && src.len() == im.len());
+    for ((c, r), i) in src.iter().zip(re.iter_mut()).zip(im.iter_mut()) {
+        *r = c.re;
+        *i = c.im;
+    }
+}
+
+/// Recombines real/imag planes into interleaved complex points.
+pub(crate) fn interleave(re: &[f64], im: &[f64], dst: &mut [C64]) {
+    debug_assert!(dst.len() == re.len() && dst.len() == im.len());
+    for ((c, r), i) in dst.iter_mut().zip(re.iter()).zip(im.iter()) {
+        c.re = *r;
+        c.im = *i;
+    }
+}
+
+/// One radix-4 stage's twiddle triples in split (structure-of-arrays)
+/// form: `w1 = W_len^j`, `w2 = W_len^{2j}`, `w3 = W_len^{3j}` for
+/// `j in 0..len/4`, each as separate re/im planes so a vector lane
+/// loads contiguously. Stored forward; the inverse negates the imag
+/// plane on load.
+#[derive(Debug, Clone)]
+pub(crate) struct R4Twiddles {
+    pub w1re: Vec<f64>,
+    pub w1im: Vec<f64>,
+    pub w2re: Vec<f64>,
+    pub w2im: Vec<f64>,
+    pub w3re: Vec<f64>,
+    pub w3im: Vec<f64>,
+}
+
+impl R4Twiddles {
+    /// The split twiddle table of one radix-4 stage of size `len`.
+    pub(crate) fn for_stage(len: usize) -> Self {
+        let quarter = len / 4;
+        let mut t = R4Twiddles {
+            w1re: Vec::with_capacity(quarter),
+            w1im: Vec::with_capacity(quarter),
+            w2re: Vec::with_capacity(quarter),
+            w2im: Vec::with_capacity(quarter),
+            w3re: Vec::with_capacity(quarter),
+            w3im: Vec::with_capacity(quarter),
+        };
+        for j in 0..quarter {
+            let w1 = twiddle(len, j);
+            let w2 = twiddle(len, 2 * j % len);
+            let w3 = twiddle(len, 3 * j % len);
+            t.w1re.push(w1.re);
+            t.w1im.push(w1.im);
+            t.w2re.push(w2.re);
+            t.w2im.push(w2.im);
+            t.w3re.push(w3.re);
+            t.w3im.push(w3.im);
+        }
+        t
+    }
+}
+
+/// One split-radix combine level's twiddle pairs in split form:
+/// `w1 = W_len^k`, `w3 = W_len^{3k}` for `k in 0..len/4`.
+#[derive(Debug, Clone)]
+pub(crate) struct SrTwiddles {
+    pub w1re: Vec<f64>,
+    pub w1im: Vec<f64>,
+    pub w3re: Vec<f64>,
+    pub w3im: Vec<f64>,
+}
+
+impl SrTwiddles {
+    /// The split twiddle table of one combine level of size `len`.
+    pub(crate) fn for_level(len: usize) -> Self {
+        let quarter = len / 4;
+        let mut t = SrTwiddles {
+            w1re: Vec::with_capacity(quarter),
+            w1im: Vec::with_capacity(quarter),
+            w3re: Vec::with_capacity(quarter),
+            w3im: Vec::with_capacity(quarter),
+        };
+        for k in 0..quarter {
+            let w1 = twiddle(len, k);
+            let w3 = twiddle(len, 3 * k % len);
+            t.w1re.push(w1.re);
+            t.w1im.push(w1.im);
+            t.w3re.push(w3.re);
+            t.w3im.push(w3.im);
+        }
+        t
+    }
+}
+
+/// One full radix-4 DIT stage of size `len` over the whole `re`/`im`
+/// planes, in place — the scalar reference of the vector stage
+/// kernels. `sign` is `+1.0` forward, `-1.0` inverse (conjugated
+/// twiddles, `+i` rotation).
+pub(crate) fn radix4_stage_scalar(
+    re: &mut [f64],
+    im: &mut [f64],
+    tw: &R4Twiddles,
+    len: usize,
+    sign: f64,
+) {
+    let n = re.len();
+    let quarter = len / 4;
+    for base in (0..n).step_by(len) {
+        for j in 0..quarter {
+            let w1re = tw.w1re[j];
+            let w1im = sign * tw.w1im[j];
+            let w2re = tw.w2re[j];
+            let w2im = sign * tw.w2im[j];
+            let w3re = tw.w3re[j];
+            let w3im = sign * tw.w3im[j];
+            let i0 = base + j;
+            let i1 = i0 + quarter;
+            let i2 = i0 + 2 * quarter;
+            let i3 = i0 + 3 * quarter;
+            let (are, aim) = (re[i0], im[i0]);
+            let (bre, bim) = (re[i1] * w1re - im[i1] * w1im, re[i1] * w1im + im[i1] * w1re);
+            let (cre, cim) = (re[i2] * w2re - im[i2] * w2im, re[i2] * w2im + im[i2] * w2re);
+            let (ere, eim) = (re[i3] * w3re - im[i3] * w3im, re[i3] * w3im + im[i3] * w3re);
+            let (t0re, t0im) = (are + cre, aim + cim);
+            let (t1re, t1im) = (are - cre, aim - cim);
+            let (t2re, t2im) = (bre + ere, bim + eim);
+            let (t3re, t3im) = (bre - ere, bim - eim);
+            // The 4-point DFT's only rotation: -i forward, +i inverse.
+            let (rre, rim) = (sign * t3im, -sign * t3re);
+            re[i0] = t0re + t2re;
+            im[i0] = t0im + t2im;
+            re[i1] = t1re + rre;
+            im[i1] = t1im + rim;
+            re[i2] = t0re - t2re;
+            im[i2] = t0im - t2im;
+            re[i3] = t1re - rre;
+            im[i3] = t1im - rim;
+        }
+    }
+}
+
+/// One split-radix combine over split planes — the scalar reference of
+/// the vector combine kernels. `cur` holds the three sub-spectra
+/// `[U (len/2) | Z (len/4) | Z' (len/4)]`; the combined `len`-point
+/// spectrum lands in `out`. `sign` as in [`radix4_stage_scalar`].
+pub(crate) fn split_combine_scalar(
+    cur_re: &[f64],
+    cur_im: &[f64],
+    out_re: &mut [f64],
+    out_im: &mut [f64],
+    tw: &SrTwiddles,
+    sign: f64,
+) {
+    let len = out_re.len();
+    let half = len / 2;
+    let quarter = len / 4;
+    for k in 0..quarter {
+        let w1re = tw.w1re[k];
+        let w1im = sign * tw.w1im[k];
+        let w3re = tw.w3re[k];
+        let w3im = sign * tw.w3im[k];
+        let (zre, zim) = (cur_re[half + k], cur_im[half + k]);
+        let (pre, pim) = (cur_re[half + quarter + k], cur_im[half + quarter + k]);
+        let (t1re, t1im) = (zre * w1re - zim * w1im, zre * w1im + zim * w1re);
+        let (t2re, t2im) = (pre * w3re - pim * w3im, pre * w3im + pim * w3re);
+        let (sre, sim) = (t1re + t2re, t1im + t2im);
+        let (dre, dim) = (t1re - t2re, t1im - t2im);
+        // diff * (-i) forward, diff * (+i) inverse.
+        let (rre, rim) = (sign * dim, -sign * dre);
+        let (u0re, u0im) = (cur_re[k], cur_im[k]);
+        let (u1re, u1im) = (cur_re[k + quarter], cur_im[k + quarter]);
+        out_re[k] = u0re + sre;
+        out_im[k] = u0im + sim;
+        out_re[k + half] = u0re - sre;
+        out_im[k + half] = u0im - sim;
+        out_re[k + quarter] = u1re + rre;
+        out_im[k + quarter] = u1im + rim;
+        out_re[k + 3 * quarter] = u1re - rre;
+        out_im[k + 3 * quarter] = u1im - rim;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use afft_num::Complex;
+
+    #[test]
+    fn layout_passes_round_trip() {
+        let src: Vec<C64> = (0..9).map(|i| Complex::new(i as f64, -(i as f64))).collect();
+        let mut re = vec![0.0; 9];
+        let mut im = vec![0.0; 9];
+        let mut back = vec![Complex::zero(); 9];
+        deinterleave(&src, &mut re, &mut im);
+        interleave(&re, &im, &mut back);
+        assert_eq!(src, back);
+        assert_eq!(re[3], 3.0);
+        assert_eq!(im[3], -3.0);
+    }
+
+    #[test]
+    fn twiddle_tables_match_the_scalar_twiddles() {
+        let t = R4Twiddles::for_stage(16);
+        for j in 0..4 {
+            assert_eq!(Complex::new(t.w1re[j], t.w1im[j]), twiddle(16, j));
+            assert_eq!(Complex::new(t.w2re[j], t.w2im[j]), twiddle(16, 2 * j));
+            assert_eq!(Complex::new(t.w3re[j], t.w3im[j]), twiddle(16, 3 * j));
+        }
+        let s = SrTwiddles::for_level(8);
+        assert_eq!(s.w1re.len(), 2);
+        assert_eq!(Complex::new(s.w1re[1], s.w1im[1]), twiddle(8, 1));
+        assert_eq!(Complex::new(s.w3re[1], s.w3im[1]), twiddle(8, 3));
+    }
+}

@@ -1,0 +1,299 @@
+//! The SIMD split-radix engine: the scalar recursion's L-shaped
+//! decomposition over split real/imag planes, with vectorized combine
+//! loops.
+//!
+//! Structure mirrors [`crate::splitradix`]: an `N`-point DFT splits
+//! into one `N/2`-point DFT over the even samples and two `N/4`-point
+//! DFTs over the `4m+1` / `4m+3` samples, recursing through a
+//! plan-owned 2N-point scratch arena. The differences are layout and
+//! width: the input is deinterleaved once into split planes (so the
+//! strided recursive reads are plain `f64` loads), per-level twiddle
+//! tables are stored in split form, and each combine level with at
+//! least one full vector of bins runs 4 (AVX2) or 2 (NEON) bins per
+//! iteration. Base cases and narrow levels use the scalar split-plane
+//! kernel, so every host computes the same sign algebra.
+
+use crate::cached::MemTraffic;
+use crate::engine::{check_io, FftEngine};
+use crate::error::FftError;
+use crate::reference::{check_pow2, Direction};
+use crate::simd::kernels::{self, SrTwiddles};
+use crate::simd::SimdLevel;
+use afft_num::C64;
+
+/// Split-radix FFT over split-plane scratch with vectorized combines
+/// (power-of-two sizes `>= 16`). Registered as `split_radix_simd` when
+/// the host exposes a vector unit; see the [module
+/// docs](crate::simd) for the dispatch and layout story.
+#[derive(Debug, Clone)]
+pub struct SplitRadixSimdEngine {
+    n: usize,
+    level: SimdLevel,
+    /// Per combine level, indexed by `log2(len)` (entries below
+    /// `len = 4` are empty placeholders: those lengths are base cases).
+    levels: Vec<SrTwiddles>,
+    // Engine-owned planes: deinterleaved input, combined output, and
+    // the 2N recursion arena.
+    in_re: Vec<f64>,
+    in_im: Vec<f64>,
+    out_re: Vec<f64>,
+    out_im: Vec<f64>,
+    sc_re: Vec<f64>,
+    sc_im: Vec<f64>,
+}
+
+impl SplitRadixSimdEngine {
+    /// Plans a SIMD split-radix FFT of size `n` (a power of two,
+    /// `>= 16`) at the host's
+    /// [`active_level`](crate::simd::active_level).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::InvalidSize`] otherwise.
+    pub fn new(n: usize) -> Result<Self, FftError> {
+        Self::with_level(n, crate::simd::active_level())
+    }
+
+    /// Plans at an explicit dispatch level, clamped to the host
+    /// ([`SimdLevel::clamp_to_host`]) — see
+    /// [`Radix4SimdEngine::with_level`](crate::simd::Radix4SimdEngine::with_level).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::InvalidSize`] unless `n` is a power of two
+    /// `>= 16`.
+    pub fn with_level(n: usize, level: SimdLevel) -> Result<Self, FftError> {
+        check_pow2(n)?;
+        if n < 16 {
+            return Err(FftError::InvalidSize { n, reason: "below the SIMD tier's minimum (16)" });
+        }
+        let log2n = n.trailing_zeros() as usize;
+        let levels = (0..=log2n)
+            .map(|bits| {
+                if bits < 2 {
+                    SrTwiddles { w1re: vec![], w1im: vec![], w3re: vec![], w3im: vec![] }
+                } else {
+                    SrTwiddles::for_level(1 << bits)
+                }
+            })
+            .collect();
+        Ok(SplitRadixSimdEngine {
+            n,
+            level: level.clamp_to_host(),
+            levels,
+            in_re: vec![0.0; n],
+            in_im: vec![0.0; n],
+            out_re: vec![0.0; n],
+            out_im: vec![0.0; n],
+            sc_re: vec![0.0; 2 * n],
+            sc_im: vec![0.0; 2 * n],
+        })
+    }
+
+    /// The dispatch level the plan executes at (post-clamp).
+    pub fn level(&self) -> SimdLevel {
+        self.level
+    }
+}
+
+impl FftEngine for SplitRadixSimdEngine {
+    fn name(&self) -> &str {
+        "split_radix_simd"
+    }
+
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn execute_into(
+        &mut self,
+        input: &[C64],
+        output: &mut [C64],
+        dir: Direction,
+    ) -> Result<(), FftError> {
+        check_io(self.n, input, output)?;
+        let forward = dir == Direction::Forward;
+        kernels::deinterleave(input, &mut self.in_re, &mut self.in_im);
+        rec(
+            &self.levels,
+            self.level,
+            &self.in_re,
+            &self.in_im,
+            0,
+            1,
+            &mut self.out_re,
+            &mut self.out_im,
+            &mut self.sc_re,
+            &mut self.sc_im,
+            forward,
+        );
+        kernels::interleave(&self.out_re, &self.out_im, output);
+        Ok(())
+    }
+
+    fn traffic(&self) -> Option<MemTraffic> {
+        // The L-shaped recursion touches ~3/4 of the points per
+        // radix-2 stage equivalent, plus the two layout passes.
+        let stages = self.n.trailing_zeros() as usize;
+        let moved = 3 * self.n * stages / 4 + 2 * self.n;
+        Some(MemTraffic { loads: moved, stores: moved })
+    }
+}
+
+/// One recursion level: the DFT of `in[offset + stride*m]` for
+/// `m in 0..out_re.len()`, written to the `out` planes. Sub-spectra
+/// live in `sc[..len]` (`[U | Z | Z']`, the scalar recursion's layout),
+/// with `sc[len..]` shared by the sub-recursions.
+#[allow(clippy::too_many_arguments)]
+fn rec(
+    levels: &[SrTwiddles],
+    simd: SimdLevel,
+    in_re: &[f64],
+    in_im: &[f64],
+    offset: usize,
+    stride: usize,
+    out_re: &mut [f64],
+    out_im: &mut [f64],
+    sc_re: &mut [f64],
+    sc_im: &mut [f64],
+    forward: bool,
+) {
+    let len = out_re.len();
+    if len == 1 {
+        out_re[0] = in_re[offset];
+        out_im[0] = in_im[offset];
+        return;
+    }
+    if len == 2 {
+        let (are, aim) = (in_re[offset], in_im[offset]);
+        let (bre, bim) = (in_re[offset + stride], in_im[offset + stride]);
+        out_re[0] = are + bre;
+        out_im[0] = aim + bim;
+        out_re[1] = are - bre;
+        out_im[1] = aim - bim;
+        return;
+    }
+    let half = len / 2;
+    let quarter = len / 4;
+    let (cur_re, rest_re) = sc_re.split_at_mut(len);
+    let (cur_im, rest_im) = sc_im.split_at_mut(len);
+    {
+        let (u_re, zz_re) = cur_re.split_at_mut(half);
+        let (z_re, zp_re) = zz_re.split_at_mut(quarter);
+        let (u_im, zz_im) = cur_im.split_at_mut(half);
+        let (z_im, zp_im) = zz_im.split_at_mut(quarter);
+        rec(levels, simd, in_re, in_im, offset, stride * 2, u_re, u_im, rest_re, rest_im, forward);
+        rec(
+            levels,
+            simd,
+            in_re,
+            in_im,
+            offset + stride,
+            stride * 4,
+            z_re,
+            z_im,
+            rest_re,
+            rest_im,
+            forward,
+        );
+        rec(
+            levels,
+            simd,
+            in_re,
+            in_im,
+            offset + 3 * stride,
+            stride * 4,
+            zp_re,
+            zp_im,
+            rest_re,
+            rest_im,
+            forward,
+        );
+    }
+    let tw = &levels[len.trailing_zeros() as usize];
+    match simd {
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: simd == Avx2Fma only after clamp_to_host confirmed
+        // the host detects avx2 + fma; `quarter >= 4` is checked by the
+        // guard and the plane lengths hold by construction.
+        SimdLevel::Avx2Fma if quarter >= 4 => unsafe {
+            crate::simd::x86::split_combine_avx2(cur_re, cur_im, out_re, out_im, tw, forward);
+        },
+        #[cfg(target_arch = "aarch64")]
+        // SAFETY: simd == Neon only after clamp_to_host confirmed the
+        // host detects neon; `quarter >= 2` is checked by the guard and
+        // the plane lengths hold by construction.
+        SimdLevel::Neon if quarter >= 2 => unsafe {
+            crate::simd::neon::split_combine_neon(cur_re, cur_im, out_re, out_im, tw, forward);
+        },
+        _ => {
+            let sign = if forward { 1.0 } else { -1.0 };
+            kernels::split_combine_scalar(cur_re, cur_im, out_re, out_im, tw, sign);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::{dft_naive, max_error};
+    use afft_num::Complex;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_signal(n: usize, seed: u64) -> Vec<C64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect()
+    }
+
+    #[test]
+    fn matches_naive_at_every_level_and_direction() {
+        for n in [16usize, 32, 128, 512, 1024] {
+            let x = random_signal(n, 41 + n as u64);
+            for level in [SimdLevel::Scalar, crate::simd::detect_host()] {
+                let mut engine = SplitRadixSimdEngine::with_level(n, level).unwrap();
+                let mut got = vec![Complex::zero(); n];
+                for dir in [Direction::Forward, Direction::Inverse] {
+                    let want = dft_naive(&x, dir).unwrap();
+                    engine.execute_into(&x, &mut got, dir).unwrap();
+                    let peak = want.iter().map(|c| c.abs()).fold(0.0, f64::max);
+                    assert!(max_error(&got, &want) / peak < 1e-12, "n={n} level={level:?} {dir:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_recovers_input() {
+        let n = 512;
+        let mut engine = SplitRadixSimdEngine::new(n).unwrap();
+        let x = random_signal(n, 11);
+        let mut spec = vec![Complex::zero(); n];
+        let mut back = vec![Complex::zero(); n];
+        engine.execute_into(&x, &mut spec, Direction::Forward).unwrap();
+        engine.execute_into(&spec, &mut back, Direction::Inverse).unwrap();
+        let scaled: Vec<C64> = back.iter().map(|&v| v * (1.0 / n as f64)).collect();
+        assert!(max_error(&scaled, &x) < 1e-10);
+    }
+
+    #[test]
+    fn rejects_unsupported_sizes() {
+        for n in [0usize, 1, 2, 4, 8, 12, 60] {
+            assert!(
+                matches!(SplitRadixSimdEngine::new(n), Err(FftError::InvalidSize { .. })),
+                "{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn length_mismatch_is_reported() {
+        let mut engine = SplitRadixSimdEngine::new(64).unwrap();
+        let x = random_signal(64, 1);
+        let mut short = vec![Complex::zero(); 32];
+        assert!(matches!(
+            engine.execute_into(&x, &mut short, Direction::Forward),
+            Err(FftError::LengthMismatch { expected: 64, got: 32 })
+        ));
+    }
+}

@@ -391,6 +391,11 @@ fn estimate_rank(engine: &dyn FftEngine) -> EngineRank {
             // the complex multiplies over radix-2.
             "split_radix" => 0.67 * nf * log2n,
             "radix4_dit" => 0.75 * nf * log2n,
+            // The SIMD tier runs the same op counts as its scalar
+            // siblings — the win is issue width, modeled by the
+            // throughput class below, not a smaller op count.
+            "split_radix_simd" => 0.67 * nf * log2n,
+            "radix4_simd" => 0.75 * nf * log2n,
             // General mixed radix: per-point cost of one stage grows
             // with its radix (hardcoded {2,3,4,5} butterflies).
             "mixed_radix" => nf * mixed_radix_stage_cost(n),
@@ -403,7 +408,17 @@ fn estimate_rank(engine: &dyn FftEngine) -> EngineRank {
             "real_fft" => 2.2 * nf * log2n,
             _ => nf * log2n,
         };
-        (HOST_OP_NS * ops + HOST_MEM_NS * traffic.unwrap_or(0) as f64, None)
+        // Throughput class: vectorized engines retire ~`lanes` point
+        // operations per issue; the 0.75 derate covers the layout
+        // passes and narrow recursion levels the wide path can't cover.
+        // Memory traffic is not divided — the vector unit does not
+        // widen the memory bus.
+        let issue_width = if engine.name().ends_with("_simd") {
+            (afft_core::simd::active_level().lanes() as f64 * 0.75).max(1.0)
+        } else {
+            1.0
+        };
+        (HOST_OP_NS * ops / issue_width + HOST_MEM_NS * traffic.unwrap_or(0) as f64, None)
     };
     EngineRank {
         name: engine.name().to_string(),
@@ -430,6 +445,27 @@ mod tests {
         }
         assert_eq!(plan.ranking.last().unwrap().name, "dft_naive");
         assert_ne!(plan.best().name, "dft_naive");
+    }
+
+    #[test]
+    fn estimate_prefers_simd_over_scalar_siblings_when_detected() {
+        if !afft_core::simd::active_level().is_simd() {
+            // No vector unit (or AFFT_NO_SIMD): the SIMD tier is not
+            // registered and there is nothing to rank.
+            return;
+        }
+        let mut planner = Planner::new();
+        let plan = planner.plan(1024, Strategy::Estimate).unwrap();
+        let pos = |name: &str| {
+            plan.ranking
+                .iter()
+                .position(|r| r.name == name)
+                .unwrap_or_else(|| panic!("{name} missing from estimate ranking"))
+        };
+        // Same op model, wider issue: each SIMD engine must outrank its
+        // scalar sibling under Estimate.
+        assert!(pos("radix4_simd") < pos("radix4_dit"));
+        assert!(pos("split_radix_simd") < pos("split_radix"));
     }
 
     #[test]

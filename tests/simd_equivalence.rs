@@ -1,0 +1,69 @@
+//! Satellite: the SIMD tier is a pure throughput change. Every `*_simd`
+//! engine the registry registers must match its scalar sibling —
+//! `radix4_simd` vs `radix4_dit`, `split_radix_simd` vs `split_radix` —
+//! across registry sizes and both directions, far inside the engines'
+//! declared tolerance. On hosts without a vector unit the registry
+//! carries no `*_simd` engines and the sibling sweep is vacuous; the
+//! presence test pins that the tier appears exactly when detection says
+//! it should.
+
+use afft::core::engine::EngineRegistry;
+use afft::core::reference::max_error;
+use afft::core::{simd, Direction};
+use afft::num::{Complex, C64};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The scalar engine each SIMD engine must reproduce.
+fn scalar_sibling(simd_name: &str) -> &'static str {
+    match simd_name {
+        "radix4_simd" => "radix4_dit",
+        "split_radix_simd" => "split_radix",
+        other => panic!("no scalar sibling mapped for {other}"),
+    }
+}
+
+fn random_signal(n: usize, seed: u64) -> Vec<C64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect()
+}
+
+#[test]
+fn every_simd_engine_matches_its_scalar_sibling() {
+    for n in [16usize, 32, 64, 128, 256, 512, 1024] {
+        let mut registry = EngineRegistry::standard(n).expect("registry");
+        let simd_names: Vec<String> = registry
+            .names()
+            .iter()
+            .filter(|name| name.ends_with("_simd"))
+            .map(|name| name.to_string())
+            .collect();
+        if simd::active_level().is_simd() {
+            assert!(
+                simd_names.contains(&"split_radix_simd".to_string()),
+                "SIMD detected but split_radix_simd missing at n={n}"
+            );
+        } else {
+            assert!(simd_names.is_empty(), "no SIMD detected but {simd_names:?} at n={n}");
+        }
+        let x = random_signal(n, 97 + n as u64);
+        let mut got = vec![Complex::zero(); n];
+        let mut want = vec![Complex::zero(); n];
+        for name in simd_names {
+            let mut vector = registry.take(&name).expect("simd engine");
+            let mut scalar = registry.take(scalar_sibling(&name)).expect("scalar sibling");
+            for dir in [Direction::Forward, Direction::Inverse] {
+                vector.execute_into(&x, &mut got, dir).expect("simd execute");
+                scalar.execute_into(&x, &mut want, dir).expect("scalar execute");
+                let peak = want.iter().map(|c| c.abs()).fold(f64::MIN_POSITIVE, f64::max);
+                let err = max_error(&got, &want) / peak;
+                // Same sign algebra, different summation order: the
+                // backends may differ only by FMA rounding, orders of
+                // magnitude inside the 1e-8 engine tolerance.
+                assert!(err < 1e-12, "{name} vs scalar sibling at n={n} ({dir:?}): {err}");
+            }
+            registry.register(vector);
+            registry.register(scalar);
+        }
+    }
+}
