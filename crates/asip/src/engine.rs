@@ -48,6 +48,11 @@ pub struct AsipEngine {
     last_stats: Option<Stats>,
     // Reusable Q15 quantisation staging for the wire-format input.
     quant_scratch: Vec<Complex<Q15>>,
+    /// Modeled cycle counts of every run — always recorded (the
+    /// simulator's own cost dwarfs two histogram adds), so per-run
+    /// variation (e.g. across cache configurations) is inspectable
+    /// instead of only the last value.
+    cycle_hist: afft_obs::Histogram,
 }
 
 impl AsipEngine {
@@ -68,7 +73,13 @@ impl AsipEngine {
     /// Returns [`FftError::InvalidSize`] for unsupported sizes.
     pub fn with_config(n: usize, cfg: AsipConfig) -> Result<Self, FftError> {
         Split::for_size(n)?;
-        Ok(AsipEngine { n, cfg, last_stats: None, quant_scratch: Vec::new() })
+        Ok(AsipEngine {
+            n,
+            cfg,
+            last_stats: None,
+            quant_scratch: Vec::new(),
+            cycle_hist: afft_obs::Histogram::new(),
+        })
     }
 
     /// Execution statistics of the most recent transform, or `None`
@@ -80,6 +91,12 @@ impl AsipEngine {
     /// Cycle count of the most recent run, or `None` before the first.
     pub fn last_cycles(&self) -> Option<u64> {
         self.last_stats().map(|s| s.cycles)
+    }
+
+    /// Distribution of modeled cycle counts over every run this engine
+    /// instance has executed (empty before the first).
+    pub fn cycle_histogram(&self) -> &afft_obs::Histogram {
+        &self.cycle_hist
     }
 }
 
@@ -122,6 +139,7 @@ impl FftEngine for AsipEngine {
             other => FftError::Backend { engine: "asip_iss".into(), reason: other.to_string() },
         })?;
         self.last_stats = Some(run.stats);
+        self.cycle_hist.record(run.stats.cycles);
 
         // The datapath scales by 1/N; undo that and the input scaling
         // to meet the unnormalised-DFT contract.
@@ -212,11 +230,18 @@ mod tests {
         // Before the run: the closed-form prediction.
         assert_eq!(engine.traffic().unwrap().total(), 4 * n);
         assert!(engine.last_stats().is_none());
+        assert!(engine.cycle_histogram().is_empty());
         engine.execute(&random_signal(n, 2), Direction::Forward).unwrap();
         let stats = engine.last_stats().expect("stats retained");
         assert_eq!(stats.ldin, n as u64);
         assert_eq!(stats.stout, n as u64);
         assert!(stats.cycles > 0);
+        // Every run lands in the cycle distribution; the canonical
+        // program is deterministic, so both runs cost the same bucket.
+        engine.execute(&random_signal(n, 4), Direction::Forward).unwrap();
+        let hist = engine.cycle_histogram();
+        assert_eq!(hist.count(), 2);
+        assert_eq!(hist.p50(), hist.p99(), "deterministic program, one bucket");
         // Measured traffic equals the prediction for the canonical
         // program: each beat moves two points.
         assert_eq!(engine.traffic().unwrap().total(), 4 * n);

@@ -96,6 +96,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         assert!(measure.ranking.windows(2).all(|p| p[0].score_ns <= p[1].score_ns));
     }
 
+    // The calibration distributions Measure kept (one series per
+    // `(n, direction, engine)`): the spread behind each wall-ns score.
+    // Empty when metrics are off (AFFT_OBS=0) or every plan replayed
+    // from wisdom without re-measuring.
+    let calibration = planner.calibration_snapshot();
+    if calibration.is_empty() {
+        println!("calibration distributions: none (metrics off or all plans from wisdom)");
+    } else {
+        println!("== calibration distributions (Measure reps per engine) ==");
+        print!("{calibration}");
+    }
+    println!();
+
     planner.wisdom().store(&path)?;
     println!("wisdom: {} plans cached at {}", planner.wisdom().len(), path.display());
     Ok(())

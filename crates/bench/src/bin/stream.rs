@@ -13,26 +13,34 @@
 //! * `stream` — the persistent pipeline: the pool and the per-worker
 //!   engines outlive the whole stream, symbols flow through the
 //!   bounded queue, and the payload buffers recycle through the
-//!   completions (zero allocation per symbol in steady state).
+//!   completions (zero allocation per symbol in steady state). Run
+//!   twice — metrics off, then metrics on — so the observability layer
+//!   prices itself on every report.
 //!
 //! ```text
 //! cargo run -p afft-bench --release --bin stream            # 4096-symbol stream
 //! cargo run -p afft-bench --release --bin stream -- --smoke # CI subset
 //! ```
 //!
-//! The full run enforces the PR acceptance bar: the persistent
-//! pipeline must sustain at least **1.2x** the per-call scoped-thread
-//! throughput at N = 256 (skipped for `--smoke` and debug builds,
-//! where the timings are noise).
+//! Every run (smoke included) writes `BENCH_stream.json`: per-arm
+//! throughput plus the metrics-on pipeline's per-channel latency
+//! histograms with the queue-wait / transform / reorder-park
+//! breakdown (at the default 1-in-8 stage sampling — the shipped
+//! configuration is what gets priced). Full optimized runs enforce two acceptance bars: the
+//! persistent pipeline must sustain at least **1.2x** the per-call
+//! scoped-thread throughput at N = 256, and enabling metrics must cost
+//! it less than **5%** of that throughput (both skipped for `--smoke`
+//! and debug builds, where the timings are noise).
 
 use afft_bench::row;
 use afft_bench::workload::qpsk_symbol;
 use afft_core::engine::EngineRegistry;
 use afft_core::Direction;
 use afft_num::{Complex, C64};
-use afft_planner::{Planner, Strategy};
-use afft_stream::{ChannelSpec, StreamPipeline};
-use std::time::Instant;
+use afft_obs::json;
+use afft_planner::{Plan, Planner, Strategy};
+use afft_stream::{ChannelSpec, StreamPipeline, StreamStats};
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 const N: usize = 256;
 /// Workers the per-call arm asks for on every call — the fixed request
@@ -53,8 +61,98 @@ fn pool_workers() -> usize {
     std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get).min(WORKERS)
 }
 
+/// One stream arm: a pipeline built with metrics explicitly on or off,
+/// plus the recycling payload buffers its whole-stream passes thread
+/// through the completions. The metrics-on and -off arms run their
+/// passes *interleaved* so slow-host noise (a background burst during
+/// one arm's turn) cannot masquerade as metrics overhead.
+struct StreamArm {
+    pipeline: StreamPipeline,
+    ch: afft_stream::ChannelId,
+    inputs: Vec<Vec<C64>>,
+    outputs: Vec<Vec<C64>>,
+    passes: usize,
+}
+
+impl StreamArm {
+    fn build(
+        plan: &Plan,
+        pool: usize,
+        observability: bool,
+        stream_in: &[Vec<C64>],
+    ) -> Result<StreamArm, Box<dyn std::error::Error>> {
+        let mut builder = StreamPipeline::builder(EngineRegistry::standard)
+            .workers(pool)
+            .queue_depth(2 * CHUNK)
+            .observability(observability);
+        let ch = builder.channel(ChannelSpec::from_plan(
+            plan,
+            afft_stream::ChannelOp::Transform(Direction::Forward),
+        ));
+        let pipeline = builder.build()?;
+        assert_eq!(pipeline.observability_enabled(), observability);
+        Ok(StreamArm {
+            pipeline,
+            ch,
+            inputs: stream_in.to_vec(),
+            outputs: vec![vec![Complex::zero(); N]; stream_in.len()],
+            passes: 0,
+        })
+    }
+
+    /// Pushes the whole stream through once and returns symbols/sec.
+    fn pass(&mut self) -> f64 {
+        let symbols = self.inputs.len();
+        let start = Instant::now();
+        let mut returned_in: Vec<Vec<C64>> = Vec::with_capacity(symbols);
+        let mut returned_out: Vec<Vec<C64>> = Vec::with_capacity(symbols);
+        for (s, (input, output)) in self.inputs.drain(..).zip(self.outputs.drain(..)).enumerate() {
+            // Blocking submit: the bounded queue is the backpressure.
+            self.pipeline.submit(self.ch, input, output).expect("pipeline accepts while open");
+            // Drain ready completions periodically so parked results
+            // don't pile up behind the submission loop (every symbol
+            // would cost a lock round-trip per symbol for nothing).
+            if s % CHUNK == CHUNK - 1 {
+                while let Some(done) = self.pipeline.try_recv(self.ch) {
+                    returned_in.push(done.input);
+                    returned_out.push(done.output);
+                }
+            }
+        }
+        while let Some(done) = self.pipeline.recv(self.ch) {
+            returned_in.push(done.input);
+            returned_out.push(done.output);
+        }
+        self.inputs = returned_in;
+        self.outputs = returned_out;
+        self.passes += 1;
+        symbols as f64 / start.elapsed().as_secs_f64()
+    }
+
+    /// Checks bit-identity against the sequential reference and shuts
+    /// the pipeline down, returning the final stats.
+    fn finish(self, reference: &[Vec<C64>]) -> StreamStats {
+        // In-order delivery means the recycled buffers line up 1:1 with
+        // the submissions: the final pass reproduces the reference.
+        assert_eq!(self.outputs, reference, "stream pipeline must be bit-identical to sequential");
+        let (stats, leftover) = self.pipeline.shutdown();
+        assert!(leftover.is_empty(), "every completion was delivered");
+        assert_eq!(stats.submitted, (self.passes * reference.len()) as u64);
+        stats
+    }
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let smoke = std::env::args().any(|a| a == "--smoke");
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    // `--stamp <secs>` pins the artifact's timestamp (reproducible CI
+    // artifacts); otherwise the system clock stamps the run.
+    let stamp = args
+        .iter()
+        .position(|a| a == "--stamp")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or_else(|| SystemTime::now().duration_since(UNIX_EPOCH).map_or(0, |d| d.as_secs()));
     let symbols: usize = if smoke { 256 } else { 4096 };
     let reps = if smoke { 1 } else { 5 };
 
@@ -95,73 +193,100 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     assert_eq!(chunk_out, reference, "threaded per-call arm must match sequential");
 
-    // The persistent pipeline: built once, measured over whole-stream
-    // passes with the payload buffers recycling through completions.
-    let mut builder =
-        StreamPipeline::builder(EngineRegistry::standard).workers(pool).queue_depth(2 * CHUNK);
-    let ch = builder.channel(ChannelSpec::from_plan(
-        &plan,
-        afft_stream::ChannelOp::Transform(Direction::Forward),
-    ));
-    let pipeline = builder.build()?;
-    let mut inputs = stream_in.clone();
-    let mut outputs: Vec<Vec<C64>> = vec![vec![Complex::zero(); N]; symbols];
+    // The persistent pipeline, twice over the same stream: metrics off
+    // (the raw-speed arm the cross-shape comparison uses) and metrics
+    // on (sampled stage timing, pricing the observability layer).
+    // Passes alternate between the arms so host noise averages out of
+    // the overhead ratio instead of landing on one side of it.
+    let mut arm_off = StreamArm::build(&plan, pool, false, &stream_in)?;
+    let mut arm_on = StreamArm::build(&plan, pool, true, &stream_in)?;
     let mut stream_tps = 0.0f64;
+    let mut obs_tps = 0.0f64;
     for _ in 0..reps {
-        let start = Instant::now();
-        let mut returned_in: Vec<Vec<C64>> = Vec::with_capacity(symbols);
-        let mut returned_out: Vec<Vec<C64>> = Vec::with_capacity(symbols);
-        for (s, (input, output)) in inputs.drain(..).zip(outputs.drain(..)).enumerate() {
-            // Blocking submit: the bounded queue is the backpressure.
-            pipeline.submit(ch, input, output).expect("pipeline accepts while open");
-            // Drain ready completions periodically so parked results
-            // don't pile up behind the submission loop (every symbol
-            // would cost a lock round-trip per symbol for nothing).
-            if s % CHUNK == CHUNK - 1 {
-                while let Some(done) = pipeline.try_recv(ch) {
-                    returned_in.push(done.input);
-                    returned_out.push(done.output);
-                }
-            }
-        }
-        while let Some(done) = pipeline.recv(ch) {
-            returned_in.push(done.input);
-            returned_out.push(done.output);
-        }
-        inputs = returned_in;
-        outputs = returned_out;
-        stream_tps = stream_tps.max(symbols as f64 / start.elapsed().as_secs_f64());
+        stream_tps = stream_tps.max(arm_off.pass());
+        obs_tps = obs_tps.max(arm_on.pass());
     }
-    // In-order delivery means the recycled buffers line up 1:1 with the
-    // submissions: the final pass must reproduce the reference exactly.
-    assert_eq!(outputs, reference, "stream pipeline must be bit-identical to sequential");
-    let stats = pipeline.stats();
+    let off_stats = arm_off.finish(&reference);
+    let on_stats = arm_on.finish(&reference);
 
-    let widths = [14usize, 14, 16];
+    let widths = [16usize, 14, 16];
     println!("{}", row(&["arm".into(), "symbols/s".into(), "vs threaded/call".into()], &widths));
-    for (name, tps) in
-        [("sequential", seq_tps), ("threaded/call", call_tps), ("stream", stream_tps)]
-    {
+    for (name, tps) in [
+        ("sequential", seq_tps),
+        ("threaded/call", call_tps),
+        ("stream", stream_tps),
+        ("stream+metrics", obs_tps),
+    ] {
         println!(
             "{}",
             row(&[name.into(), format!("{tps:.0}"), format!("{:.2}x", tps / call_tps)], &widths)
         );
     }
-    println!("\npipeline after {} passes: {stats}", stats.submitted as usize / symbols.max(1));
-    let (final_stats, leftover) = pipeline.shutdown();
-    assert!(leftover.is_empty(), "every completion was delivered");
-    assert_eq!(final_stats.submitted, (reps * symbols) as u64);
+    println!("\nmetrics-off pipeline after {reps} passes: {off_stats}");
+    println!("metrics-on  pipeline after {reps} passes: {on_stats}");
+    let obs = on_stats.obs.as_ref().expect("metrics-on arm records histograms");
+    println!("\nper-channel latency (metrics-on arm):\n{obs}");
 
     let speedup = stream_tps / call_tps;
+    let overhead_ratio = obs_tps / stream_tps;
     println!(
-        "\nstream vs per-call scoped threads: {speedup:.2}x sustained on a {symbols}-symbol stream"
+        "stream vs per-call scoped threads: {speedup:.2}x sustained on a {symbols}-symbol stream"
     );
-    // The PR acceptance bar, gated like the throughput bin: only where
-    // the timing means something (full run, optimized build).
+    println!(
+        "metrics overhead: {obs_tps:.0} vs {stream_tps:.0} symbols/s ({:.1}% {})",
+        (overhead_ratio - 1.0).abs() * 100.0,
+        if overhead_ratio < 1.0 { "slower" } else { "faster" },
+    );
+
+    // Machine-readable artifact, smoke included — CI schema-checks it.
+    let doc = json::Obj::new()
+        .str("bench", "stream")
+        .num("stamp_unix", stamp as f64)
+        .bool("smoke", smoke)
+        .num("n", N as f64)
+        .num("symbols", symbols as f64)
+        .num("reps", reps as f64)
+        .num("workers", pool as f64)
+        .num("sample_every", afft_stream::DEFAULT_SAMPLE_EVERY as f64)
+        .raw(
+            "arms",
+            json::Obj::new()
+                .num("sequential_tps", seq_tps)
+                .num("threaded_call_tps", call_tps)
+                .num("stream_tps", stream_tps)
+                .num("stream_metrics_tps", obs_tps)
+                .finish(),
+        )
+        .num("stream_vs_call", speedup)
+        .num("metrics_overhead_ratio", overhead_ratio)
+        .raw(
+            "queue",
+            json::Obj::new()
+                .num("capacity", on_stats.queue_capacity as f64)
+                .num("high_water", on_stats.queue_high_water as f64)
+                .finish(),
+        )
+        .raw("channels", obs.to_json())
+        .finish();
+    std::fs::write("BENCH_stream.json", doc + "\n")?;
+    println!("wrote BENCH_stream.json");
+
+    // The PR acceptance bars, gated like the throughput bin: only
+    // where the timing means something (full run, optimized build).
     if !smoke && !cfg!(debug_assertions) && speedup < 1.2 {
         eprintln!(
             "FAIL: the persistent pipeline must sustain >= 1.2x the per-call \
              scoped-thread path at N = {N}, got {speedup:.2}x"
+        );
+        std::process::exit(1);
+    }
+    // The observability layer's own bar: two relaxed atomics per stage
+    // must stay under 5% of sustained stream throughput.
+    if !smoke && !cfg!(debug_assertions) && overhead_ratio < 0.95 {
+        eprintln!(
+            "FAIL: metrics must cost < 5% of stream throughput, got {:.1}% \
+             ({obs_tps:.0} vs {stream_tps:.0} symbols/s)",
+            (1.0 - overhead_ratio) * 100.0
         );
         std::process::exit(1);
     }

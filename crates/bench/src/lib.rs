@@ -17,7 +17,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod json;
+pub use afft_obs::json;
 pub mod paper;
 pub mod workload;
 

@@ -1,7 +1,10 @@
-//! A minimal JSON writer for machine-readable bench artifacts
-//! (`BENCH_*.json`). The workspace carries no serialization dependency,
-//! and the artifacts are flat records of numbers and short identifier
-//! strings, so a two-type builder covers everything the benches emit.
+//! A minimal JSON writer for machine-readable artifacts
+//! (`BENCH_*.json`, metric snapshots). The workspace carries no
+//! serialization dependency, and the artifacts are flat records of
+//! numbers and short identifier strings, so a two-type builder covers
+//! everything the exporters emit. (Formerly `afft_bench::json`, moved
+//! down-stack so the observability layer can export without depending
+//! on the bench harness; `afft_bench::json` re-exports this module.)
 
 /// Builds one JSON object field-by-field, preserving insertion order.
 #[derive(Debug, Default, Clone)]

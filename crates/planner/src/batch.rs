@@ -7,17 +7,63 @@
 //! state (e.g. the ISS adapter's statistics cell) stays thread-local
 //! and the threaded path is bit-identical to the sequential one.
 
+use std::time::Instant;
+
 use afft_core::engine::FftEngine;
 use afft_core::{Direction, FftError};
 use afft_num::C64;
 
 use crate::planner::{Plan, RegistryFactory};
 
+/// Wall-clock timing of one shard of a batch run — one worker's
+/// contiguous slice of the symbol batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardTiming {
+    /// Symbols the shard transformed.
+    pub symbols: usize,
+    /// Shard wall time, transform loop only (engine construction and
+    /// thread spawn excluded).
+    pub wall_ns: u64,
+}
+
+/// Wall-clock timing of one batch run, kept on the executor when
+/// observability is on ([`BatchExecutor::last_run`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunTiming {
+    /// Engine the run executed on.
+    pub engine: String,
+    /// Total symbols transformed.
+    pub symbols: usize,
+    /// Worker threads used (1 for the sequential path).
+    pub workers: usize,
+    /// End-to-end wall time of the run, including shard spawn/join on
+    /// the threaded path.
+    pub wall_ns: u64,
+    /// Per-shard transform timings, in shard order (one entry on the
+    /// sequential path) — the threaded path's load-balance evidence.
+    pub shards: Vec<ShardTiming>,
+}
+
+impl RunTiming {
+    /// Symbols per second over the whole run (zero for an empty or
+    /// instantaneous run).
+    pub fn throughput(&self) -> f64 {
+        if self.wall_ns == 0 {
+            0.0
+        } else {
+            self.symbols as f64 / (self.wall_ns as f64 / 1e9)
+        }
+    }
+}
+
 /// Executes batches of equal-length symbols on a planned engine.
 pub struct BatchExecutor {
     factory: RegistryFactory,
     engine: Box<dyn FftEngine>,
     name: String,
+    /// Resolved from `AFFT_OBS` at construction.
+    obs_enabled: bool,
+    last_run: Option<RunTiming>,
 }
 
 impl core::fmt::Debug for BatchExecutor {
@@ -51,7 +97,29 @@ impl BatchExecutor {
         factory: RegistryFactory,
     ) -> Result<Self, FftError> {
         let engine = crate::planner::take_engine(factory, n, name)?;
-        Ok(BatchExecutor { factory, engine, name: name.to_string() })
+        Ok(BatchExecutor {
+            factory,
+            engine,
+            name: name.to_string(),
+            obs_enabled: afft_obs::enabled(),
+            last_run: None,
+        })
+    }
+
+    /// Explicitly enables or disables run-timing collection (the
+    /// default follows the process-wide `AFFT_OBS` switch,
+    /// [`afft_obs::enabled`]).
+    #[must_use]
+    pub fn with_observability(mut self, on: bool) -> Self {
+        self.obs_enabled = on;
+        self
+    }
+
+    /// Timing of the most recent `execute*` run: total wall time plus
+    /// per-shard breakdowns. `None` until a run completes, or with
+    /// observability off.
+    pub fn last_run(&self) -> Option<&RunTiming> {
+        self.last_run.as_ref()
     }
 
     /// The engine the batch runs on.
@@ -113,8 +181,19 @@ impl BatchExecutor {
         if out.len() != symbols.len() {
             return Err(FftError::LengthMismatch { expected: symbols.len(), got: out.len() });
         }
+        let start = self.obs_enabled.then(Instant::now);
         for (symbol, slot) in symbols.iter().zip(out.iter_mut()) {
             self.engine.execute_into(symbol, slot, dir)?;
+        }
+        if let Some(start) = start {
+            let wall_ns = elapsed_ns(start);
+            self.last_run = Some(RunTiming {
+                engine: self.name.clone(),
+                symbols: symbols.len(),
+                workers: 1,
+                wall_ns,
+                shards: vec![ShardTiming { symbols: symbols.len(), wall_ns }],
+            });
         }
         Ok(())
     }
@@ -175,24 +254,52 @@ impl BatchExecutor {
         let n = self.engine.len();
         let factory = self.factory;
         let name = self.name.as_str();
+        let obs = self.obs_enabled;
 
-        std::thread::scope(|scope| {
+        let start = obs.then(Instant::now);
+        let shards = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(workers);
             for (shard_in, shard_out) in symbols.chunks(chunk).zip(out.chunks_mut(chunk)) {
-                handles.push(scope.spawn(move || -> Result<(), FftError> {
+                let shard_symbols = shard_in.len();
+                let handle = scope.spawn(move || -> Result<u64, FftError> {
                     // A private engine (and scratch set) per worker: no
                     // shared interior state, deterministic per-symbol
                     // arithmetic.
                     let mut engine = crate::planner::take_engine(factory, n, name)?;
+                    // Time the transform loop only — engine
+                    // construction is plan-time cost, not batch cost.
+                    let shard_start = obs.then(Instant::now);
                     for (symbol, slot) in shard_in.iter().zip(shard_out.iter_mut()) {
                         engine.execute_into(symbol, slot, dir)?;
                     }
-                    Ok(())
-                }));
+                    Ok(shard_start.map_or(0, elapsed_ns))
+                });
+                handles.push((shard_symbols, handle));
             }
-            handles.into_iter().try_for_each(|h| h.join().expect("batch worker panicked"))
-        })
+            handles
+                .into_iter()
+                .map(|(shard_symbols, handle)| {
+                    let wall_ns = handle.join().expect("batch worker panicked")?;
+                    Ok(ShardTiming { symbols: shard_symbols, wall_ns })
+                })
+                .collect::<Result<Vec<ShardTiming>, FftError>>()
+        })?;
+        if let Some(start) = start {
+            self.last_run = Some(RunTiming {
+                engine: self.name.clone(),
+                symbols: symbols.len(),
+                workers: shards.len(),
+                wall_ns: elapsed_ns(start),
+                shards,
+            });
+        }
+        Ok(())
     }
+}
+
+/// Saturating nanoseconds since `start`.
+fn elapsed_ns(start: Instant) -> u64 {
+    u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX)
 }
 
 #[cfg(test)]
@@ -241,6 +348,39 @@ mod tests {
         symbols[5] = vec![C64::new(0.0, 0.0); 32];
         let err = exec.execute_threaded(&symbols, Direction::Forward, 4).unwrap_err();
         assert!(matches!(err, FftError::LengthMismatch { expected: 64, got: 32 }));
+    }
+
+    #[test]
+    fn run_timings_cover_every_shard() {
+        let mut exec = BatchExecutor::with_engine_name(64, "radix2_dit", EngineRegistry::standard)
+            .unwrap()
+            .with_observability(true);
+        assert!(exec.last_run().is_none(), "no run yet");
+        let symbols = batch(64, 10);
+        exec.execute(&symbols, Direction::Forward).unwrap();
+        let run = exec.last_run().unwrap();
+        assert_eq!((run.symbols, run.workers), (10, 1));
+        assert_eq!(run.shards.len(), 1);
+        assert_eq!(run.engine, "radix2_dit");
+        exec.execute_threaded(&symbols, Direction::Forward, 3).unwrap();
+        let run = exec.last_run().unwrap();
+        assert_eq!(run.workers, 3);
+        assert_eq!(run.shards.iter().map(|s| s.symbols).sum::<usize>(), 10);
+        assert!(run.wall_ns > 0);
+        assert!(run.throughput() > 0.0);
+        // The end-to-end run covers its longest shard.
+        assert!(run.shards.iter().all(|s| s.wall_ns <= run.wall_ns));
+    }
+
+    #[test]
+    fn observability_off_keeps_no_timings() {
+        let mut exec = BatchExecutor::with_engine_name(64, "radix2_dit", EngineRegistry::standard)
+            .unwrap()
+            .with_observability(false);
+        let symbols = batch(64, 6);
+        exec.execute(&symbols, Direction::Forward).unwrap();
+        exec.execute_threaded(&symbols, Direction::Forward, 2).unwrap();
+        assert!(exec.last_run().is_none());
     }
 
     #[test]

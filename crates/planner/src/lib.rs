@@ -53,7 +53,7 @@ pub mod batch;
 pub mod planner;
 pub mod wisdom;
 
-pub use batch::BatchExecutor;
+pub use batch::{BatchExecutor, RunTiming, ShardTiming};
 pub use planner::{
     calibration_signal, take_engine, EngineRank, Plan, Planner, RegistryFactory, Strategy,
 };

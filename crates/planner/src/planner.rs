@@ -8,6 +8,7 @@ use std::time::{Instant, SystemTime, UNIX_EPOCH};
 use afft_core::engine::{EngineRegistry, FftEngine};
 use afft_core::{Direction, FftError};
 use afft_num::{Complex, C64};
+use afft_obs::{Histogram, Snapshot};
 
 use crate::batch::BatchExecutor;
 use crate::wisdom::{backend_set_hash, Wisdom, WisdomEntry, WisdomKey};
@@ -107,6 +108,13 @@ pub struct Planner {
     // The factory's backend-set hash per size: a wisdom replay must
     // not pay for building every engine just to key the lookup.
     hash_cache: std::collections::BTreeMap<usize, u64>,
+    /// Whether Measure keeps per-rep calibration distributions
+    /// (resolved from `AFFT_OBS` at construction).
+    obs_enabled: bool,
+    /// Every calibration rep ever timed, keyed `n{n}/{dir}/{engine}` —
+    /// Measure used to keep only the best rep and discard the rest;
+    /// with observability on the whole distribution survives.
+    calibration: std::collections::BTreeMap<String, Histogram>,
 }
 
 impl Default for Planner {
@@ -129,7 +137,18 @@ impl Planner {
             wisdom: Wisdom::new(),
             reps: 3,
             hash_cache: std::collections::BTreeMap::new(),
+            obs_enabled: afft_obs::enabled(),
+            calibration: std::collections::BTreeMap::new(),
         }
+    }
+
+    /// Explicitly enables or disables calibration-distribution
+    /// recording (the default follows the process-wide `AFFT_OBS`
+    /// switch, [`afft_obs::enabled`]).
+    #[must_use]
+    pub fn with_observability(mut self, on: bool) -> Self {
+        self.obs_enabled = on;
+        self
     }
 
     /// Seeds the planner with previously stored wisdom.
@@ -224,10 +243,30 @@ impl Planner {
                 // outside the timed loops: the rankings compare the
                 // math, not the host allocator.
                 let mut output = vec![Complex::zero(); n];
-                registry
-                    .engines_mut()
-                    .map(|e| measure_rank(e, &signal, &mut output, direction, self.reps))
-                    .collect::<Result<Vec<EngineRank>, FftError>>()?
+                let dir = if direction == Direction::Forward { "fwd" } else { "inv" };
+                let mut ranking = Vec::new();
+                for engine in registry.engines_mut() {
+                    // With observability on, every calibration rep
+                    // lands in a per-engine histogram instead of being
+                    // discarded after the best-of reduction.
+                    let mut hist = self.obs_enabled.then(Histogram::new);
+                    let rank = measure_rank(
+                        engine,
+                        &signal,
+                        &mut output,
+                        direction,
+                        self.reps,
+                        &mut hist,
+                    )?;
+                    if let Some(hist) = hist {
+                        self.calibration
+                            .entry(format!("n{n}/{dir}/{}", rank.name))
+                            .or_default()
+                            .merge(&hist);
+                    }
+                    ranking.push(rank);
+                }
+                ranking
             }
         };
         ranking.sort_by(|a, b| {
@@ -260,6 +299,18 @@ impl Planner {
     /// As [`Planner::engine`].
     pub fn executor(&self, plan: &Plan) -> Result<BatchExecutor, FftError> {
         BatchExecutor::from_plan(plan, self.factory)
+    }
+
+    /// Every calibration rep this planner has timed, as a named
+    /// snapshot (`n{n}/{dir}/{engine}` series) — the distribution
+    /// behind each [`Strategy::Measure`] ranking, which the best-of
+    /// reduction alone would have discarded. Empty with observability
+    /// off, and for planners that only ever ran
+    /// [`Strategy::Estimate`] or wisdom replays.
+    pub fn calibration_snapshot(&self) -> Snapshot {
+        Snapshot::from_series(
+            self.calibration.iter().map(|(name, h)| (name.clone(), h.clone())).collect(),
+        )
     }
 }
 
@@ -317,6 +368,7 @@ fn measure_rank(
     output: &mut [C64],
     direction: Direction,
     reps: usize,
+    hist: &mut Option<Histogram>,
 ) -> Result<EngineRank, FftError> {
     // Warm the engine-owned scratch outside the timed region, so the
     // first timed rep doesn't pay one-time buffer growth.
@@ -325,7 +377,11 @@ fn measure_rank(
     for _ in 0..reps {
         let start = Instant::now();
         engine.execute_into(signal, output, direction)?;
-        wall_ns = wall_ns.min(start.elapsed().as_nanos() as f64);
+        let rep_ns = start.elapsed().as_nanos();
+        if let Some(hist) = hist {
+            hist.record(u64::try_from(rep_ns).unwrap_or(u64::MAX));
+        }
+        wall_ns = wall_ns.min(rep_ns as f64);
     }
     // Cycle-accurate backends rank by modeled hardware time, not by
     // how long the simulator took on the host.
@@ -527,6 +583,30 @@ mod tests {
         for c in &a {
             assert!((c.abs() - 1.0).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn measure_keeps_calibration_distributions() {
+        let reps = 4;
+        let mut planner = Planner::new().with_observability(true).with_measure_reps(reps);
+        planner.plan(64, Strategy::Measure).unwrap();
+        let snap = planner.calibration_snapshot();
+        assert_eq!(snap.series().len(), EngineRegistry::standard(64).unwrap().len());
+        for (name, hist) in snap.series() {
+            assert!(name.starts_with("n64/fwd/"), "{name}");
+            assert_eq!(hist.count(), reps as u64, "{name} kept every rep");
+            assert!(hist.max().unwrap() >= hist.min().unwrap());
+        }
+        // A wisdom replay re-runs nothing and records nothing new.
+        planner.plan(64, Strategy::Measure).unwrap();
+        assert_eq!(planner.calibration_snapshot().get("n64/fwd/dft_naive").unwrap().count(), 4);
+    }
+
+    #[test]
+    fn observability_off_discards_calibration() {
+        let mut planner = Planner::new().with_observability(false).with_measure_reps(2);
+        planner.plan(64, Strategy::Measure).unwrap();
+        assert!(planner.calibration_snapshot().series().is_empty());
     }
 
     #[test]

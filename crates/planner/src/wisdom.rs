@@ -244,12 +244,31 @@ impl Wisdom {
     /// Loads wisdom from `path`. A missing file yields an empty cache
     /// (first run on a new machine); other I/O errors are returned.
     ///
+    /// Corrupt lines are skipped as in [`Wisdom::parse`]; when any are
+    /// present, their number is added to the process-wide
+    /// `wisdom.corrupt_lines` counter ([`fn@afft_obs::counter`]) and one
+    /// warning line is printed to stderr — silent wisdom decay is how
+    /// a machine quietly loses its tuning.
+    ///
     /// # Errors
     ///
     /// Propagates any [`io::Error`] except [`io::ErrorKind::NotFound`].
     pub fn load<P: AsRef<Path>>(path: P) -> io::Result<Wisdom> {
+        let path = path.as_ref();
         match std::fs::read_to_string(path) {
-            Ok(text) => Ok(Wisdom::parse(&text)),
+            Ok(text) => {
+                let wisdom = Wisdom::parse(&text);
+                if wisdom.rejected > 0 {
+                    afft_obs::counter("wisdom.corrupt_lines").add(wisdom.rejected as u64);
+                    eprintln!(
+                        "warning: skipped {} corrupt wisdom line(s) in {} ({} plan(s) kept)",
+                        wisdom.rejected,
+                        path.display(),
+                        wisdom.len(),
+                    );
+                }
+                Ok(wisdom)
+            }
             Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Wisdom::new()),
             Err(e) => Err(e),
         }

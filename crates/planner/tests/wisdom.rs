@@ -176,3 +176,26 @@ fn planner_wisdom_survives_a_disk_round_trip() {
     let first_names: Vec<&str> = first.ranking.iter().map(|r| r.name.as_str()).collect();
     assert_eq!(names, first_names, "the whole ranking replays, not just the winner");
 }
+
+#[test]
+fn loading_a_corrupt_file_bumps_the_observability_counter() {
+    let before = afft_obs::counter("wisdom.corrupt_lines").get();
+    let path = std::env::temp_dir().join("afft-wisdom-corrupt-counter-test.txt");
+    std::fs::write(
+        &path,
+        "# afft wisdom v1\n\
+         plan n=64 dir=fwd strategy=measure backends=00000000deadbeef stamp=10 rank=radix2_dit:100.500\n\
+         plan n=oops dir=fwd strategy=measure backends=1 stamp=1 rank=a:1.0\n\
+         garbage line\n",
+    )
+    .expect("write");
+    let wisdom = Wisdom::load(&path).expect("load");
+    std::fs::remove_file(&path).ok();
+    assert_eq!(wisdom.len(), 1);
+    assert_eq!(wisdom.rejected_lines(), 2);
+    assert_eq!(
+        afft_obs::counter("wisdom.corrupt_lines").get(),
+        before + 2,
+        "corrupt lines must surface on the process-wide counter"
+    );
+}

@@ -71,5 +71,6 @@ pub mod stats;
 
 pub use pipeline::{
     ChannelId, ChannelOp, ChannelSpec, Completion, StreamBuilder, StreamPipeline, SubmitError,
+    DEFAULT_SAMPLE_EVERY,
 };
-pub use stats::{ChannelStats, StreamStats};
+pub use stats::{ChannelObs, ChannelStats, StreamObs, StreamStats};

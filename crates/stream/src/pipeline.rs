@@ -23,10 +23,11 @@ use afft_core::engine::FftEngine;
 use afft_core::ofdm::Ofdm;
 use afft_core::{Direction, FftError};
 use afft_num::{Complex, C64};
+use afft_obs::{ns_between, Recorder, Stage};
 use afft_planner::planner::take_engine;
 use afft_planner::{Plan, RegistryFactory};
 
-use crate::stats::{ChannelStats, StreamStats};
+use crate::stats::{ChannelObs, ChannelStats, StreamObs, StreamStats};
 
 /// How many jobs a worker claims (and how many completions it parks)
 /// per lock acquisition. Bounds added latency under low load — a worker
@@ -218,14 +219,48 @@ pub struct StreamBuilder {
     specs: Vec<ChannelSpec>,
     workers: usize,
     queue_depth: usize,
+    observability: Option<bool>,
+    sample_every: u64,
     stamp: u64,
 }
+
+/// Default stage-timing sample rate: one symbol in 8 per channel. At
+/// sub-microsecond symbol costs the clock reads are the dominant
+/// metrics cost (three ~30 ns reads per symbol would be ~10% of a
+/// 256-point transform), so timing every symbol is priced out of the
+/// default; 1-in-8 keeps thousands of samples per second at streaming
+/// rates for well under 1% overhead.
+pub const DEFAULT_SAMPLE_EVERY: u64 = 8;
 
 impl StreamBuilder {
     /// Sets the worker-pool size (clamped to at least 1; default 4).
     #[must_use]
     pub fn workers(mut self, workers: usize) -> Self {
         self.workers = workers.max(1);
+        self
+    }
+
+    /// Explicitly enables or disables metrics collection (per-channel
+    /// latency histograms with stage breakdowns, surfaced on
+    /// [`StreamStats::obs`]). The default — when this is never called —
+    /// follows the process-wide `AFFT_OBS` switch
+    /// ([`afft_obs::enabled`]), which itself defaults to **on**.
+    #[must_use]
+    pub fn observability(mut self, on: bool) -> Self {
+        self.observability = Some(on);
+        self
+    }
+
+    /// Sets the stage-timing sample rate: one symbol in `every` (per
+    /// channel, by sequence number, so sampling is deterministic) gets
+    /// the full queue-wait / transform / reorder-park / deliver clock
+    /// stamps. Clamped to at least 1; `1` times every symbol. The
+    /// default is [`DEFAULT_SAMPLE_EVERY`] — clock reads, not the
+    /// lock-free histogram writes, are the dominant metrics cost, and
+    /// sampling is what keeps it under the stream bench's 5% budget.
+    #[must_use]
+    pub fn sample_every(mut self, every: u64) -> Self {
+        self.sample_every = every.max(1);
         self
     }
 
@@ -267,8 +302,26 @@ impl StreamBuilder {
             Front::build(spec, self.factory)?;
         }
 
+        // Metrics: one series per (channel, stage), one recorder shard
+        // per worker plus one for the delivering caller. Resolved here
+        // — not per record — so flipping `AFFT_OBS` mid-process never
+        // tears a pipeline's instrumentation.
+        let observability = self.observability.unwrap_or_else(afft_obs::enabled);
+        let obs = observability.then(|| {
+            let series = (0..self.specs.len())
+                .flat_map(|i| Stage::ALL.iter().map(move |stage| format!("ch{i}/{stage}")))
+                .collect();
+            PipelineObs {
+                recorder: Recorder::new(self.workers + 1, series),
+                caller_shard: self.workers,
+                sample_every: self.sample_every,
+            }
+        });
+
         let specs = Arc::new(self.specs);
         let shared = Arc::new(Shared {
+            obs,
+            epoch: Instant::now(),
             state: Mutex::new(State {
                 queue: VecDeque::with_capacity(self.queue_depth),
                 depth: self.queue_depth,
@@ -330,8 +383,16 @@ impl StreamPipeline {
             specs: Vec::new(),
             workers: 4,
             queue_depth: 64,
+            observability: None,
+            sample_every: DEFAULT_SAMPLE_EVERY,
             stamp: NEXT_PIPELINE_STAMP.fetch_add(1, Ordering::Relaxed),
         }
+    }
+
+    /// Whether this pipeline collects latency metrics (see
+    /// [`StreamBuilder::observability`]).
+    pub fn observability_enabled(&self) -> bool {
+        self.shared.obs.is_some()
     }
 
     /// The spec a channel was registered with.
@@ -453,7 +514,7 @@ impl StreamPipeline {
     pub fn try_recv(&self, channel: ChannelId) -> Option<Completion> {
         let idx = self.chan(channel);
         let mut st = self.lock();
-        Self::pop_delivery(&mut st, idx)
+        self.pop_delivery(&mut st, idx)
     }
 
     /// Blocking delivery: waits for the channel's next in-order
@@ -472,7 +533,7 @@ impl StreamPipeline {
         let idx = self.chan(channel);
         let mut st = self.lock();
         loop {
-            if let Some(done) = Self::pop_delivery(&mut st, idx) {
+            if let Some(done) = self.pop_delivery(&mut st, idx) {
                 return Some(done);
             }
             if st.worker_panicked {
@@ -546,6 +607,21 @@ impl StreamPipeline {
                     delivered: c.delivered,
                 })
                 .collect(),
+            obs: self.shared.obs.as_ref().map(|obs| StreamObs {
+                per_channel: (0..self.specs.len())
+                    .map(|i| {
+                        let base = i * Stage::COUNT;
+                        let hist =
+                            |stage: Stage| obs.recorder.series_histogram(base + stage.index());
+                        ChannelObs {
+                            queue_wait: hist(Stage::QueueWait),
+                            transform: hist(Stage::Transform),
+                            reorder_park: hist(Stage::ReorderPark),
+                            latency: hist(Stage::Deliver),
+                        }
+                    })
+                    .collect(),
+            }),
             elapsed: self.started.elapsed(),
         }
     }
@@ -567,10 +643,11 @@ impl StreamPipeline {
         let leftover = {
             let mut st = self.lock();
             let mut leftover = Vec::new();
-            for (idx, chan) in st.channels.iter_mut().enumerate() {
-                while let Some(done) = chan.pop_next() {
+            for idx in 0..self.specs.len() {
+                while let Some(done) = self.pop_delivery(&mut st, idx) {
                     leftover.push(done);
                 }
+                let chan = &st.channels[idx];
                 debug_assert!(
                     chan.parked.iter().all(Option::is_none) && chan.delivered == chan.next_seq,
                     "channel {idx} lost work at shutdown"
@@ -611,7 +688,9 @@ impl StreamPipeline {
         let idx = self.chan(channel);
         let seq = st.channels[idx].next_seq;
         st.channels[idx].next_seq += 1;
-        st.queue.push_back(Job { channel, seq, input, output });
+        let sampled = self.shared.obs.as_ref().is_some_and(|o| seq.is_multiple_of(o.sample_every));
+        let submitted_at = if sampled { Instant::now() } else { self.shared.epoch };
+        st.queue.push_back(Job { channel, seq, input, output, submitted_at, sampled });
         st.high_water = st.high_water.max(st.queue.len());
         if st.idle_workers > 0 {
             self.shared.work.notify_one();
@@ -619,8 +698,27 @@ impl StreamPipeline {
         seq
     }
 
-    fn pop_delivery(st: &mut State, idx: usize) -> Option<Completion> {
-        st.channels[idx].pop_next()
+    fn pop_delivery(&self, st: &mut State, idx: usize) -> Option<Completion> {
+        let parked = st.channels[idx].pop_next()?;
+        if !parked.sampled {
+            return Some(parked.done);
+        }
+        if let Some(obs) = &self.shared.obs {
+            let now = Instant::now();
+            let base = idx * Stage::COUNT;
+            let rec = &obs.recorder;
+            rec.record(
+                obs.caller_shard,
+                base + Stage::ReorderPark.index(),
+                ns_between(parked.finished_at, now),
+            );
+            rec.record(
+                obs.caller_shard,
+                base + Stage::Deliver.index(),
+                ns_between(parked.submitted_at, now),
+            );
+        }
+        Some(parked.done)
     }
 }
 
@@ -645,6 +743,27 @@ struct Shared {
     work: Condvar,
     /// Receivers waiting for completions.
     done: Condvar,
+    /// Metrics recorder, when the pipeline was built with
+    /// observability on. Recording is lock-free; `None` removes every
+    /// clock read from the hot path.
+    obs: Option<PipelineObs>,
+    /// Stand-in stamp for the metrics-off path: `Instant` fields still
+    /// need a value, but nothing may read the clock for them.
+    epoch: Instant,
+}
+
+/// The pipeline's metric store: `(channel, stage)` series over
+/// per-worker shards plus one caller shard for the delivery-side
+/// stages.
+struct PipelineObs {
+    recorder: Recorder,
+    /// The shard delivery-path records go to (`pop_delivery` runs under
+    /// the state lock, so one shard serves every delivering thread).
+    caller_shard: usize,
+    /// Stage-timing sample rate: symbols whose per-channel sequence
+    /// number is a multiple of this get clock stamps; the rest skip
+    /// every clock read (see [`StreamBuilder::sample_every`]).
+    sample_every: u64,
 }
 
 impl core::fmt::Debug for Shared {
@@ -689,13 +808,13 @@ struct ChanState {
     /// `delivered + i`, or `None` while that symbol is still queued or
     /// in flight. A ring (rather than a map) keeps its capacity across
     /// park/deliver cycles, so steady-state parking allocates nothing.
-    parked: VecDeque<Option<Completion>>,
+    parked: VecDeque<Option<Parked>>,
 }
 
 impl ChanState {
     /// Parks a finished symbol at its in-order slot.
-    fn park(&mut self, done: Completion) {
-        let offset = usize::try_from(done.seq - self.delivered).expect("reorder window fits");
+    fn park(&mut self, done: Parked) {
+        let offset = usize::try_from(done.done.seq - self.delivered).expect("reorder window fits");
         while self.parked.len() <= offset {
             self.parked.push_back(None);
         }
@@ -703,7 +822,7 @@ impl ChanState {
     }
 
     /// Takes the next in-order completion, if it has been parked.
-    fn pop_next(&mut self) -> Option<Completion> {
+    fn pop_next(&mut self) -> Option<Parked> {
         match self.parked.front_mut() {
             Some(slot @ Some(_)) => {
                 let done = slot.take();
@@ -721,6 +840,21 @@ struct Job {
     seq: u64,
     input: Vec<C64>,
     output: Vec<C64>,
+    /// When the submission was accepted (the `epoch` stand-in for
+    /// unsampled symbols and with metrics off).
+    submitted_at: Instant,
+    /// Whether this symbol carries stage-timing stamps (metrics on and
+    /// its sequence number hit the sample rate).
+    sampled: bool,
+}
+
+/// A finished symbol in the reorder ring, carrying the stamps the
+/// delivery path turns into reorder-park and end-to-end latencies.
+struct Parked {
+    done: Completion,
+    submitted_at: Instant,
+    finished_at: Instant,
+    sampled: bool,
 }
 
 /// A worker's private per-channel execution front: the raw engine, or
@@ -783,6 +917,9 @@ impl Drop for PanicGuard<'_> {
 
 fn worker_loop(idx: usize, shared: &Shared, specs: &[ChannelSpec], factory: RegistryFactory) {
     let _guard = PanicGuard(shared);
+    // This worker's metrics shard — recording is two relaxed atomic
+    // adds, never a lock.
+    let obs = shared.obs.as_ref().map(|o| o.recorder.handle(idx));
     // Private engines + scratch, warmed on a zero symbol per channel so
     // the first real symbol already runs the allocation-free path.
     let mut fronts: Vec<Front> = specs
@@ -800,7 +937,7 @@ fn worker_loop(idx: usize, shared: &Shared, specs: &[ChannelSpec], factory: Regi
     // Job and completion staging reused across iterations: the worker
     // loop itself allocates nothing per symbol in steady state.
     let mut jobs: Vec<Job> = Vec::with_capacity(WORKER_BATCH);
-    let mut finished: Vec<Completion> = Vec::with_capacity(WORKER_BATCH);
+    let mut finished: Vec<Parked> = Vec::with_capacity(WORKER_BATCH);
     loop {
         // Claim up to WORKER_BATCH already-queued jobs in one lock
         // acquisition — never waiting for a batch to fill.
@@ -834,16 +971,40 @@ fn worker_loop(idx: usize, shared: &Shared, specs: &[ChannelSpec], factory: Regi
             shared.space.notify_all();
         }
 
+        // Only sampled jobs read the clock: two stamps bracketing the
+        // transform. Queue-wait charges a job up to the moment its own
+        // transform begins — including time spent claimed-but-behind
+        // earlier jobs in this batch, since it was not transformable
+        // anywhere else during that window.
         for mut job in jobs.drain(..) {
             let front = &mut fronts[job.channel.index];
+            let begin = if job.sampled { Instant::now() } else { shared.epoch };
             let error = front.run(&job.input, &mut job.output).err();
-            finished.push(Completion {
-                channel: job.channel,
-                seq: job.seq,
-                input: job.input,
-                output: job.output,
-                cycles: front.cycles(),
-                error,
+            let finished_at = match &obs {
+                Some(rec) if job.sampled => {
+                    let end = Instant::now();
+                    let base = job.channel.index * Stage::COUNT;
+                    rec.record(
+                        base + Stage::QueueWait.index(),
+                        ns_between(job.submitted_at, begin),
+                    );
+                    rec.record(base + Stage::Transform.index(), ns_between(begin, end));
+                    end
+                }
+                _ => shared.epoch,
+            };
+            finished.push(Parked {
+                done: Completion {
+                    channel: job.channel,
+                    seq: job.seq,
+                    input: job.input,
+                    output: job.output,
+                    cycles: front.cycles(),
+                    error,
+                },
+                submitted_at: job.submitted_at,
+                finished_at,
+                sampled: job.sampled,
             });
         }
 
@@ -852,7 +1013,7 @@ fn worker_loop(idx: usize, shared: &Shared, specs: &[ChannelSpec], factory: Regi
             st.in_flight -= finished.len();
             st.worker_transforms[idx] += finished.len() as u64;
             for done in finished.drain(..) {
-                let chan = &mut st.channels[done.channel.index];
+                let chan = &mut st.channels[done.done.channel.index];
                 chan.completed += 1;
                 chan.park(done);
             }
@@ -1105,6 +1266,83 @@ mod tests {
         // Index 0 is in range here but the id belongs to `_other`:
         // silently resolving it would submit against the wrong op.
         let _ = pipeline.spec(foreign);
+    }
+
+    #[test]
+    fn observability_off_records_nothing() {
+        // Explicit override, so the test is deterministic regardless of
+        // the ambient AFFT_OBS (CI runs the suite under both values).
+        let mut builder =
+            StreamPipeline::builder(EngineRegistry::standard).workers(2).observability(false);
+        let ch = builder.channel(ChannelSpec::transform(64, "radix2_dit", Direction::Forward));
+        let pipeline = builder.build().unwrap();
+        assert!(!pipeline.observability_enabled());
+        pipeline.submit(ch, tagged(64, 1.0), vec![Complex::zero(); 64]).unwrap();
+        assert!(pipeline.recv(ch).is_some());
+        let (stats, _) = pipeline.shutdown();
+        assert!(stats.obs.is_none(), "metrics off must leave no histograms");
+    }
+
+    #[test]
+    fn observability_histograms_count_every_symbol() {
+        // sample_every(1) stamps every symbol, so counts are exact.
+        let mut builder = StreamPipeline::builder(EngineRegistry::standard)
+            .workers(3)
+            .queue_depth(8)
+            .observability(true)
+            .sample_every(1);
+        let a = builder.channel(ChannelSpec::transform(64, "radix2_dit", Direction::Forward));
+        let b = builder.channel(ChannelSpec {
+            n: 64,
+            engine: "radix2_dit".into(),
+            op: ChannelOp::Modulate { cp: 16 },
+        });
+        let pipeline = builder.build().unwrap();
+        assert!(pipeline.observability_enabled());
+        for s in 0..20u64 {
+            pipeline.submit(a, tagged(64, s as f64), vec![Complex::zero(); 64]).unwrap();
+        }
+        pipeline.submit(b, tagged(64, 0.5), vec![Complex::zero(); 80]).unwrap();
+        while pipeline.recv(a).is_some() {}
+        while pipeline.recv(b).is_some() {}
+        let (stats, _) = pipeline.shutdown();
+        let obs = stats.obs.expect("metrics on");
+        assert_eq!(obs.per_channel.len(), 2);
+        let ch_a = &obs.per_channel[0];
+        // Every delivered symbol shows up in every stage histogram.
+        assert_eq!(ch_a.latency.count(), 20);
+        assert_eq!(ch_a.queue_wait.count(), 20);
+        assert_eq!(ch_a.transform.count(), 20);
+        assert_eq!(ch_a.reorder_park.count(), 20);
+        assert_eq!(obs.per_channel[1].latency.count(), 1);
+        // End-to-end latency dominates its components at the median.
+        let p50 = ch_a.latency.p50().unwrap();
+        assert!(p50 >= ch_a.transform.p50().unwrap() / 2, "latency {p50}ns vs transform");
+        assert!(ch_a.latency.p99().unwrap() >= p50);
+        // The named snapshot and JSON exports carry the same series.
+        let snap = obs.snapshot();
+        assert_eq!(snap.get("ch0/deliver").unwrap().count(), 20);
+        assert!(obs.to_json().contains("\"channel\":1"));
+    }
+
+    #[test]
+    fn default_sampling_stamps_one_symbol_in_eight() {
+        // Sampling is by per-channel sequence number, so the sampled
+        // subset is deterministic: seqs 0 and 8 out of 0..12.
+        let mut builder =
+            StreamPipeline::builder(EngineRegistry::standard).workers(2).observability(true);
+        let ch = builder.channel(ChannelSpec::transform(64, "radix2_dit", Direction::Forward));
+        let pipeline = builder.build().unwrap();
+        for s in 0..12u64 {
+            pipeline.submit(ch, tagged(64, s as f64), vec![Complex::zero(); 64]).unwrap();
+        }
+        while pipeline.recv(ch).is_some() {}
+        let (stats, _) = pipeline.shutdown();
+        assert_eq!(stats.delivered, 12);
+        let obs = stats.obs.expect("metrics on");
+        for (_, hist) in obs.per_channel[0].stages() {
+            assert_eq!(hist.count(), 2, "12 symbols at 1-in-{DEFAULT_SAMPLE_EVERY}");
+        }
     }
 
     #[test]

@@ -1,7 +1,12 @@
-//! Pipeline observability: cumulative counters and queue pressure,
-//! snapshotted by [`StreamPipeline::stats`](crate::StreamPipeline::stats).
+//! Pipeline observability: cumulative counters, queue pressure, and —
+//! when metrics are enabled — per-channel latency histograms with the
+//! queue-wait / transform / reorder-park / deliver stage breakdown.
+//! Snapshotted by
+//! [`StreamPipeline::stats`](crate::StreamPipeline::stats).
 
 use std::time::Duration;
+
+use afft_obs::{fmt_ns, histogram_json, Histogram, Snapshot};
 
 /// Cumulative counters for one channel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -12,6 +17,112 @@ pub struct ChannelStats {
     pub completed: u64,
     /// Symbols handed to the caller, in order.
     pub delivered: u64,
+}
+
+/// Latency histograms for one channel, decomposing a delivered
+/// symbol's life (see [`afft_obs::Stage`]).
+///
+/// The histograms hold the *sampled* symbols — one in
+/// [`DEFAULT_SAMPLE_EVERY`](crate::DEFAULT_SAMPLE_EVERY) by default,
+/// every symbol under
+/// [`StreamBuilder::sample_every(1)`](crate::StreamBuilder::sample_every)
+/// — and the stage histograms are recorded at different points of a
+/// symbol's life (queue-wait and transform when a worker finishes it,
+/// reorder-park and latency when the caller pops it), so counts can
+/// also differ across stages on a live snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelObs {
+    /// Submission to worker claim: time spent in the bounded queue
+    /// (plus time claimed-but-unstarted inside a worker batch).
+    pub queue_wait: Histogram,
+    /// The transform itself, engine `execute_into` plus the OFDM
+    /// front-end when the channel runs one.
+    pub transform: Histogram,
+    /// Worker finish to caller pop: time parked in the reorder ring
+    /// waiting for its turn (includes time the caller simply hadn't
+    /// asked yet).
+    pub reorder_park: Histogram,
+    /// **The** per-channel latency: submission to in-order delivery,
+    /// end to end.
+    pub latency: Histogram,
+}
+
+impl ChannelObs {
+    /// The stage histograms paired with their
+    /// [`Stage`](afft_obs::Stage) names, in stage order.
+    pub fn stages(&self) -> [(&'static str, &Histogram); 4] {
+        [
+            ("queue_wait", &self.queue_wait),
+            ("transform", &self.transform),
+            ("reorder_park", &self.reorder_park),
+            ("deliver", &self.latency),
+        ]
+    }
+}
+
+/// Per-channel latency histograms for a whole pipeline — present on
+/// [`StreamStats::obs`] when the pipeline was built with observability
+/// enabled (the `AFFT_OBS` switch, or
+/// [`StreamBuilder::observability`](crate::StreamBuilder::observability)).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamObs {
+    /// Stage histograms per channel, in registration order.
+    pub per_channel: Vec<ChannelObs>,
+}
+
+impl StreamObs {
+    /// Flattens into a named [`Snapshot`] (`ch{i}/{stage}` series) for
+    /// the generic exporters.
+    pub fn snapshot(&self) -> Snapshot {
+        let series = self
+            .per_channel
+            .iter()
+            .enumerate()
+            .flat_map(|(i, chan)| {
+                chan.stages().map(|(stage, h)| (format!("ch{i}/{stage}"), h.clone()))
+            })
+            .collect();
+        Snapshot::from_series(series)
+    }
+
+    /// Renders every channel as a JSON array of
+    /// `{"channel":i,"latency":{..},"queue_wait":{..},...}` objects.
+    pub fn to_json(&self) -> String {
+        afft_obs::json::arr(self.per_channel.iter().enumerate().map(|(i, chan)| {
+            let mut obj = afft_obs::json::Obj::new().num("channel", i as f64);
+            for (stage, h) in chan.stages() {
+                let key = if stage == "deliver" { "latency" } else { stage };
+                obj = obj.raw(key, histogram_json(h));
+            }
+            obj.finish()
+        }))
+    }
+}
+
+impl core::fmt::Display for StreamObs {
+    /// One row per channel: latency p50/p99 plus the stage p50s that
+    /// explain where the time went.
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        writeln!(
+            f,
+            "{:<7}  {:>9}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}",
+            "channel", "samples", "p50", "p99", "queue p50", "xform p50", "park p50",
+        )?;
+        for (i, chan) in self.per_channel.iter().enumerate() {
+            let q = |h: &Histogram, p: f64| h.percentile(p).map_or_else(|| "-".to_string(), fmt_ns);
+            writeln!(
+                f,
+                "ch{i:<5}  {:>9}  {:>10}  {:>10}  {:>10}  {:>10}  {:>10}",
+                chan.latency.count(),
+                q(&chan.latency, 50.0),
+                q(&chan.latency, 99.0),
+                q(&chan.queue_wait, 50.0),
+                q(&chan.transform, 50.0),
+                q(&chan.reorder_park, 50.0),
+            )?;
+        }
+        Ok(())
+    }
 }
 
 /// A point-in-time snapshot of a
@@ -43,6 +154,9 @@ pub struct StreamStats {
     pub worker_transforms: Vec<u64>,
     /// Per-channel counters, in channel registration order.
     pub per_channel: Vec<ChannelStats>,
+    /// Per-channel latency histograms, when the pipeline was built with
+    /// observability on (`None` when metrics are disabled).
+    pub obs: Option<StreamObs>,
     /// Time since the pipeline was built.
     pub elapsed: Duration,
 }
@@ -58,6 +172,16 @@ impl StreamStats {
             0.0
         }
     }
+
+    /// Each worker's share of finished transforms, in percent. All
+    /// zeros (never `NaN`) before any symbol has completed.
+    pub fn worker_shares(&self) -> Vec<f64> {
+        let total: u64 = self.worker_transforms.iter().sum();
+        self.worker_transforms
+            .iter()
+            .map(|&w| if total == 0 { 0.0 } else { w as f64 / total as f64 * 100.0 })
+            .collect()
+    }
 }
 
 impl core::fmt::Display for StreamStats {
@@ -65,7 +189,7 @@ impl core::fmt::Display for StreamStats {
         write!(
             f,
             "submitted {} | completed {} ({:.0}/s) | delivered {} | rejected {} | \
-             queue {}/{} (hwm {}) | workers {:?}",
+             queue {}/{} (hwm {}) | workers [",
             self.submitted,
             self.completed,
             self.throughput(),
@@ -74,8 +198,18 @@ impl core::fmt::Display for StreamStats {
             self.in_queue,
             self.queue_capacity,
             self.queue_high_water,
-            self.worker_transforms,
-        )
+        )?;
+        // Guard the share computation against an idle pipeline: with no
+        // finished transforms every share is 0%, never NaN%.
+        for (i, (count, share)) in
+            self.worker_transforms.iter().zip(self.worker_shares()).enumerate()
+        {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{count} ({share:.0}%)")?;
+        }
+        write!(f, "]")
     }
 }
 
@@ -95,6 +229,7 @@ mod tests {
             queue_high_water: 4,
             worker_transforms: vec![5, 3],
             per_channel: vec![ChannelStats { submitted: 10, completed: 8, delivered: 6 }],
+            obs: None,
             elapsed: Duration::from_secs(2),
         }
     }
@@ -113,6 +248,50 @@ mod tests {
         assert!(line.contains("submitted 10"));
         assert!(line.contains("rejected 2"));
         assert!(line.contains("queue 1/4 (hwm 4)"));
-        assert!(line.contains("[5, 3]"));
+        assert!(line.contains("[5 (62%), 3 (38%)]"), "{line}");
+    }
+
+    #[test]
+    fn idle_pipeline_shows_zero_percent_not_nan() {
+        // Regression: with completed == 0 the per-worker share is a
+        // 0/0 — it must render as 0%, never NaN%.
+        let idle = StreamStats {
+            submitted: 0,
+            completed: 0,
+            delivered: 0,
+            rejected: 0,
+            in_queue: 0,
+            in_flight: 0,
+            worker_transforms: vec![0, 0, 0],
+            per_channel: vec![ChannelStats { submitted: 0, completed: 0, delivered: 0 }],
+            ..sample()
+        };
+        assert_eq!(idle.worker_shares(), vec![0.0, 0.0, 0.0]);
+        let line = idle.to_string();
+        assert!(!line.contains("NaN"), "{line}");
+        assert!(line.contains("[0 (0%), 0 (0%), 0 (0%)]"), "{line}");
+    }
+
+    #[test]
+    fn stream_obs_snapshot_json_and_table() {
+        let mut latency = Histogram::new();
+        latency.record_n(10_000, 100);
+        let chan = ChannelObs {
+            queue_wait: Histogram::new(),
+            transform: Histogram::new(),
+            reorder_park: Histogram::new(),
+            latency,
+        };
+        let obs = StreamObs { per_channel: vec![chan] };
+        let snap = obs.snapshot();
+        assert_eq!(snap.series().len(), 4);
+        assert!(snap.get("ch0/deliver").is_some());
+        assert!(snap.get("ch0/queue_wait").is_some());
+        let doc = obs.to_json();
+        assert!(doc.contains("\"channel\":0"), "{doc}");
+        assert!(doc.contains("\"latency\":{\"count\":100"), "{doc}");
+        let table = obs.to_string();
+        assert!(table.contains("ch0"), "{table}");
+        assert!(table.contains("p99"), "{table}");
     }
 }

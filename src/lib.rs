@@ -24,6 +24,11 @@
 //!   a long-lived worker pool over planned engines with bounded
 //!   queues, backpressure, and strict per-channel in-order completion
 //!   delivery for continuous OFDM traffic;
+//! * [`obs`] ([`afft_obs`]) — the zero-dependency observability layer:
+//!   log-bucketed latency histograms, sharded lock-free recorders,
+//!   stage timers, named counters, and text/JSON exporters, wired
+//!   through the stream, planner, and bench layers (global switch:
+//!   `AFFT_OBS`, default on);
 //! * [`baselines`] ([`afft_baselines`]) — the TI C6713 and Xtensa
 //!   trace-driven models of Table II;
 //! * [`hwmodel`] ([`afft_hwmodel`]) — the Section IV gate/power/timing
@@ -58,6 +63,7 @@ pub use afft_core as core;
 pub use afft_hwmodel as hwmodel;
 pub use afft_isa as isa;
 pub use afft_num as num;
+pub use afft_obs as obs;
 pub use afft_planner as planner;
 pub use afft_sim as sim;
 pub use afft_stream as stream;
