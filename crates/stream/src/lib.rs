@@ -10,8 +10,14 @@
 //! from a [`RegistryFactory`](afft_planner::RegistryFactory) and a set
 //! of [`ChannelSpec`]s (typically the winners of wisdom-ranked plans),
 //! spawns `N` long-lived workers that each own a private engine and
-//! pre-warmed scratch per channel, and feeds them through a bounded
-//! submission queue with backpressure:
+//! pre-warmed scratch per channel, and feeds them through a **sharded
+//! work-stealing scheduler**: each worker owns a bounded local queue,
+//! each channel is homed on one worker (round-robin at registration,
+//! [`StreamPipeline::home_worker`]) so its engine scratch stays
+//! cache-hot, and a worker whose queue runs dry steals from a loaded
+//! sibling, so one flooded channel cannot idle the pool. Backpressure
+//! is a pipeline-wide budget of
+//! [`queue_depth`](StreamBuilder::queue_depth) queued symbols:
 //!
 //! * [`StreamPipeline::try_submit`] refuses with
 //!   [`SubmitError::QueueFull`] (handing the payload buffers back)
@@ -66,8 +72,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod delivery;
 pub mod pipeline;
+mod shard;
 pub mod stats;
+mod worker;
 
 pub use pipeline::{
     ChannelId, ChannelOp, ChannelSpec, Completion, StreamBuilder, StreamPipeline, SubmitError,

@@ -1,39 +1,58 @@
-//! The streaming pipeline: channels, the bounded submission queue, the
-//! long-lived worker pool, and strict per-channel in-order completion
-//! delivery.
+//! The streaming pipeline: channels, the sharded work-stealing
+//! scheduler, the long-lived worker pool, and strict per-channel
+//! in-order completion delivery.
 //!
-//! One mutex guards the whole queue state (submission queue, per-channel
-//! reorder buffers, counters); workers hold it only to pop jobs or park
-//! completions — in batches of up to [`WORKER_BATCH`], so steady-state
-//! traffic pays a fraction of a lock round-trip per symbol — never while
-//! transforming, and condition variables are signalled only when a
-//! waiter is registered. Engines are **never** shared:
-//! each worker constructs its own backend per channel from the registry
-//! factory (the same idiom as
+//! # Sharded scheduling
+//!
+//! There is no global submission queue. Each worker owns a bounded
+//! local queue (its *shard*); a channel is assigned a **home worker**
+//! at build time (round-robin over registration order) and every
+//! symbol submitted on it lands in that worker's shard, so a channel's
+//! engine scratch stays hot in one worker's cache. A worker whose
+//! shard runs dry **steals** the older half of another worker's queue
+//! (randomized victim order, only from queues holding at least two
+//! jobs), so a flooded channel cannot starve the rest of the pipeline.
+//! Backpressure is a pipeline-wide lock-free budget of
+//! [`queue_depth`](StreamBuilder::queue_depth) accepted-but-unclaimed
+//! symbols: [`try_submit`](StreamPipeline::try_submit) refuses with
+//! [`SubmitError::QueueFull`] when it is exhausted,
+//! [`submit`](StreamPipeline::submit) blocks on a low-watermark wake.
+//!
+//! Completions are sharded too: each worker parks finished symbols in
+//! its own outbox, and the delivery side drains every outbox into
+//! per-channel seq-keyed reorder rings under a delivery-only lock no
+//! worker ever takes. On the steady-state hot path no lock is acquired
+//! by more than one worker: submission touches one shard mutex (the
+//! home worker's), the transform holds nothing, and parking touches
+//! one outbox mutex (the worker's own). The private `shard` module
+//! documents the locking discipline.
+//!
+//! Engines are **never** shared: each worker constructs its own
+//! backend per channel from the registry factory (the same idiom as
 //! [`BatchExecutor::execute_threaded_into`](afft_planner::BatchExecutor::execute_threaded_into)),
 //! then warms its scratch once, so steady-state traffic does zero heap
 //! work per symbol.
 
-use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use afft_core::engine::FftEngine;
-use afft_core::ofdm::Ofdm;
 use afft_core::{Direction, FftError};
-use afft_num::{Complex, C64};
-use afft_obs::{ns_between, Recorder, Stage};
-use afft_planner::planner::take_engine;
+use afft_num::C64;
+use afft_obs::{Recorder, Stage};
 use afft_planner::{Plan, RegistryFactory};
 
+use crate::delivery::{ChanRing, CompletionBuf, DeliveryState};
+use crate::shard::{Budget, Gate, Job, Shard};
 use crate::stats::{ChannelObs, ChannelStats, StreamObs, StreamStats};
+use crate::worker::{worker_loop, Front, WorkerCounters};
 
 /// How many jobs a worker claims (and how many completions it parks)
 /// per lock acquisition. Bounds added latency under low load — a worker
 /// only takes what is already queued — while amortising the mutex and
 /// condvar traffic under sustained load, where per-symbol transform
-/// time is small enough for lock contention to dominate.
+/// time is small enough for lock contention to dominate. Also the cap
+/// on how many jobs one steal takes.
 pub const WORKER_BATCH: usize = 8;
 
 /// What a channel does to each submitted payload.
@@ -65,13 +84,16 @@ pub enum ChannelOp {
 ///
 /// Channels are registered on the [`StreamBuilder`]; every worker builds
 /// a private backend (and, for the OFDM ops, a private
-/// [`Ofdm`] front-end) per channel.
+/// [`Ofdm`](afft_core::ofdm::Ofdm) front-end) per channel. The channel
+/// is assigned a home worker — round-robin in registration order — and
+/// its symbols run there unless stolen (see
+/// [`StreamPipeline::home_worker`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ChannelSpec {
     /// Transform size (number of subcarriers for the OFDM ops).
     pub n: usize,
     /// Engine name to take from the registry
-    /// ([`FftEngine::name`]).
+    /// ([`FftEngine::name`](afft_core::engine::FftEngine::name)).
     pub engine: String,
     /// What each submitted payload goes through.
     pub op: ChannelOp,
@@ -118,8 +140,8 @@ static NEXT_PIPELINE_STAMP: AtomicU64 = AtomicU64::new(0);
 /// channel shares its index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ChannelId {
-    stamp: u64,
-    index: usize,
+    pub(crate) stamp: u64,
+    pub(crate) index: usize,
 }
 
 impl ChannelId {
@@ -159,7 +181,7 @@ pub struct Completion {
 /// allocations.
 #[derive(Debug)]
 pub enum SubmitError {
-    /// The bounded submission queue is at capacity (only
+    /// The pipeline-wide submission budget is at capacity (only
     /// [`StreamPipeline::try_submit`] returns this; `submit` blocks
     /// instead).
     QueueFull {
@@ -232,8 +254,22 @@ pub struct StreamBuilder {
 /// rates for well under 1% overhead.
 pub const DEFAULT_SAMPLE_EVERY: u64 = 8;
 
+/// Resolves the worker-pool size: the `AFFT_STREAM_WORKERS` environment
+/// variable (clamped to at least 1) overrides the builder's setting, so
+/// CI can force a multi-worker pool — and exercise the stealing and
+/// cross-shard paths — even on a 1-core runner.
+fn resolve_workers(configured: usize) -> usize {
+    std::env::var("AFFT_STREAM_WORKERS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .map_or(configured, |w| w.max(1))
+}
+
 impl StreamBuilder {
     /// Sets the worker-pool size (clamped to at least 1; default 4).
+    /// The `AFFT_STREAM_WORKERS` environment variable, when set to a
+    /// number, overrides this — CI uses it to force the sharded paths
+    /// onto small runners.
     #[must_use]
     pub fn workers(mut self, workers: usize) -> Self {
         self.workers = workers.max(1);
@@ -264,9 +300,10 @@ impl StreamBuilder {
         self
     }
 
-    /// Sets the bounded submission-queue capacity (clamped to at least
-    /// 1; default 64). A full queue is the backpressure signal:
-    /// [`StreamPipeline::try_submit`] refuses,
+    /// Sets the pipeline-wide submission budget (clamped to at least
+    /// 1; default 64): how many accepted symbols may sit in shard
+    /// queues awaiting a worker. A full budget is the backpressure
+    /// signal: [`StreamPipeline::try_submit`] refuses,
     /// [`StreamPipeline::submit`] blocks.
     #[must_use]
     pub fn queue_depth(mut self, depth: usize) -> Self {
@@ -283,7 +320,8 @@ impl StreamBuilder {
     /// Validates every channel (engine present in the factory's
     /// registry, supported size, cyclic prefix shorter than the symbol)
     /// and spawns the worker pool. Each worker builds its private
-    /// engines and warms their scratch before serving traffic.
+    /// engines and warms their scratch before serving traffic. Channels
+    /// are homed round-robin over the workers in registration order.
     ///
     /// # Errors
     ///
@@ -302,6 +340,8 @@ impl StreamBuilder {
             Front::build(spec, self.factory)?;
         }
 
+        let workers = resolve_workers(self.workers);
+
         // Metrics: one series per (channel, stage), one recorder shard
         // per worker plus one for the delivering caller. Resolved here
         // — not per record — so flipping `AFFT_OBS` mid-process never
@@ -312,37 +352,42 @@ impl StreamBuilder {
                 .flat_map(|i| Stage::ALL.iter().map(move |stage| format!("ch{i}/{stage}")))
                 .collect();
             PipelineObs {
-                recorder: Recorder::new(self.workers + 1, series),
-                caller_shard: self.workers,
+                recorder: Recorder::new(workers + 1, series),
+                caller_shard: workers,
                 sample_every: self.sample_every,
             }
         });
 
         let specs = Arc::new(self.specs);
         let shared = Arc::new(Shared {
+            shards: (0..workers).map(|_| Shard::new(self.queue_depth)).collect(),
+            budget: Budget::new(self.queue_depth),
+            space: Gate::new(),
+            done: Gate::new(),
+            delivery: Mutex::new(DeliveryState {
+                rings: specs.iter().map(|_| ChanRing::default()).collect(),
+            }),
+            cbufs: (0..workers).map(|_| CompletionBuf::new()).collect(),
+            chans: specs
+                .iter()
+                .enumerate()
+                .map(|(i, _)| ChanShared {
+                    next_seq: AtomicU64::new(0),
+                    delivered: AtomicU64::new(0),
+                    completed: AtomicU64::new(0),
+                    home: i % workers,
+                })
+                .collect(),
+            wstats: (0..workers).map(|_| WorkerCounters::new()).collect(),
+            closed: AtomicBool::new(false),
+            worker_panicked: AtomicBool::new(false),
+            poke_cursor: AtomicUsize::new(0),
             obs,
             epoch: Instant::now(),
-            state: Mutex::new(State {
-                queue: VecDeque::with_capacity(self.queue_depth),
-                depth: self.queue_depth,
-                closed: false,
-                worker_panicked: false,
-                high_water: 0,
-                rejected: 0,
-                in_flight: 0,
-                idle_workers: 0,
-                space_waiting: 0,
-                recv_waiting: 0,
-                worker_transforms: vec![0; self.workers],
-                channels: specs.iter().map(|_| ChanState::default()).collect(),
-            }),
-            space: Condvar::new(),
-            work: Condvar::new(),
-            done: Condvar::new(),
         });
 
-        let mut handles = Vec::with_capacity(self.workers);
-        for idx in 0..self.workers {
+        let mut handles = Vec::with_capacity(workers);
+        for idx in 0..workers {
             let shared = Arc::clone(&shared);
             let specs = Arc::clone(&specs);
             let factory = self.factory;
@@ -404,6 +449,17 @@ impl StreamPipeline {
         &self.specs[self.chan(channel)]
     }
 
+    /// The worker a channel is homed on: its symbols are queued (and,
+    /// absent stealing, transformed) there. Assigned round-robin over
+    /// the pool in registration order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` did not come from this pipeline's builder.
+    pub fn home_worker(&self, channel: ChannelId) -> usize {
+        self.shared.chans[self.chan(channel)].home
+    }
+
     /// Resolves a [`ChannelId`] to its index, enforcing provenance: an
     /// id minted by a different pipeline must fail loudly even when its
     /// index happens to be in range here.
@@ -422,15 +478,16 @@ impl StreamPipeline {
         self.handles.len().max(1)
     }
 
-    /// Capacity of the bounded submission queue.
+    /// Capacity of the pipeline-wide submission budget.
     pub fn queue_capacity(&self) -> usize {
         self.queue_depth
     }
 
-    /// Non-blocking submission: enqueues the payload or refuses with
-    /// [`SubmitError::QueueFull`] — the backpressure signal for callers
-    /// that would rather shed or buffer load than stall. Refusal hands
-    /// both buffers back and loses no previously accepted work.
+    /// Non-blocking submission: enqueues the payload on the channel's
+    /// home shard or refuses with [`SubmitError::QueueFull`] — the
+    /// backpressure signal for callers that would rather shed or buffer
+    /// load than stall. Refusal hands both buffers back and loses no
+    /// previously accepted work.
     ///
     /// Returns the symbol's per-channel sequence number; its
     /// [`Completion`] is delivered in exactly this order.
@@ -452,18 +509,17 @@ impl StreamPipeline {
         if let Err(error) = self.validate(channel, &input, &output) {
             return Err(SubmitError::Shape { error, input, output });
         }
-        let mut st = self.lock();
-        if st.closed {
+        if self.shared.closed.load(Ordering::SeqCst) {
             return Err(SubmitError::Closed { input, output });
         }
-        if st.queue.len() >= self.queue_depth {
-            st.rejected += 1;
+        if !self.shared.budget.try_acquire() {
+            self.shared.budget.rejected.fetch_add(1, Ordering::SeqCst);
             return Err(SubmitError::QueueFull { input, output });
         }
-        Ok(self.enqueue(&mut st, channel, input, output))
+        self.finish_enqueue(channel, input, output)
     }
 
-    /// Blocking submission: waits for queue space instead of refusing.
+    /// Blocking submission: waits for budget space instead of refusing.
     ///
     /// # Errors
     ///
@@ -485,23 +541,101 @@ impl StreamPipeline {
         if let Err(error) = self.validate(channel, &input, &output) {
             return Err(SubmitError::Shape { error, input, output });
         }
-        let mut st = self.lock();
         loop {
-            if st.worker_panicked {
-                // Drop the guard first: this panic reports a dead
-                // pipeline, it must not also poison the state mutex.
-                drop(st);
+            if self.shared.worker_panicked.load(Ordering::SeqCst) {
                 panic!("a stream worker panicked; the pipeline is dead");
             }
-            if st.closed {
+            if self.shared.closed.load(Ordering::SeqCst) {
                 return Err(SubmitError::Closed { input, output });
             }
-            if st.queue.len() < self.queue_depth {
-                return Ok(self.enqueue(&mut st, channel, input, output));
+            if self.shared.budget.try_acquire() {
+                return self.finish_enqueue(channel, input, output);
             }
-            st.space_waiting += 1;
-            st = self.shared.space.wait(st).expect("stream state poisoned");
-            st.space_waiting -= 1;
+            // Park on the space gate. The waiter-count increment comes
+            // *before* the re-check under the gate mutex: a worker
+            // freeing budget reads the count after its release, so
+            // either it sees us (and notifies) or we see its release
+            // (and skip the wait) — never neither.
+            let gate = &self.shared.space;
+            gate.waiting.fetch_add(1, Ordering::SeqCst);
+            let mut g = gate.m.lock().expect("stream gate poisoned");
+            while !self.shared.worker_panicked.load(Ordering::SeqCst)
+                && !self.shared.closed.load(Ordering::SeqCst)
+                && self.shared.budget.queued.load(Ordering::SeqCst) >= self.shared.budget.depth
+            {
+                g = gate.cv.wait(g).expect("stream gate poisoned");
+            }
+            drop(g);
+            gate.waiting.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Routes an accepted symbol (budget slot already held) to its home
+    /// shard. Sequence numbers are assigned under the shard lock, so a
+    /// channel's queue order always matches its seq order.
+    fn finish_enqueue(
+        &self,
+        channel: ChannelId,
+        input: Vec<C64>,
+        output: Vec<C64>,
+    ) -> Result<u64, SubmitError> {
+        let idx = channel.index;
+        let chan = &self.shared.chans[idx];
+        let shard = &self.shared.shards[chan.home];
+        let mut q = shard.lock();
+        // Re-check closed under the shard lock: the home worker's exit
+        // path checks closed-then-empty under this same lock, so a push
+        // here can never land after its final drain (the critical
+        // sections are totally ordered, and close's store happens-before
+        // whichever runs second).
+        if self.shared.closed.load(Ordering::SeqCst) {
+            drop(q);
+            self.shared.budget.release(1);
+            return Err(SubmitError::Closed { input, output });
+        }
+        let seq = chan.next_seq.fetch_add(1, Ordering::SeqCst);
+        let sampled = self.shared.obs.as_ref().is_some_and(|o| seq.is_multiple_of(o.sample_every));
+        let submitted_at = if sampled { Instant::now() } else { self.shared.epoch };
+        q.queue.push_back(Job { channel, seq, input, output, submitted_at, sampled });
+        q.high_water = q.high_water.max(q.queue.len());
+        let home_idle = q.idle;
+        let qlen = q.queue.len();
+        if home_idle {
+            shard.work.notify_one();
+        }
+        drop(q);
+        // Home worker busy and a backlog forming: poke a parked worker
+        // to wake and steal. A singleton queue is deliberately not
+        // poked — the home worker claims it next, and thieves won't
+        // take the last job from a live shard anyway.
+        if !home_idle && qlen >= 2 {
+            self.poke_thief(chan.home);
+        }
+        Ok(seq)
+    }
+
+    /// Wakes one parked worker (other than `home`) so it can steal from
+    /// the backlog. Scans the lock-free idle hints with a rotating
+    /// cursor; locks only the chosen victim's shard, and only when the
+    /// hint says its worker is parked.
+    fn poke_thief(&self, home: usize) {
+        let shards = &self.shared.shards;
+        let n = shards.len();
+        if n <= 1 {
+            return;
+        }
+        let start = self.shared.poke_cursor.fetch_add(1, Ordering::Relaxed) % n;
+        for step in 0..n {
+            let v = (start + step) % n;
+            if v == home || !shards[v].idle_hint.load(Ordering::SeqCst) {
+                continue;
+            }
+            let mut q = shards[v].lock();
+            if q.idle {
+                q.poked = true;
+                shards[v].work.notify_one();
+                return;
+            }
         }
     }
 
@@ -513,8 +647,16 @@ impl StreamPipeline {
     /// Panics if `channel` did not come from this pipeline's builder.
     pub fn try_recv(&self, channel: ChannelId) -> Option<Completion> {
         let idx = self.chan(channel);
-        let mut st = self.lock();
-        self.pop_delivery(&mut st, idx)
+        let mut ds = self.shared.delivery.lock().expect("stream delivery poisoned");
+        let drained = self.shared.drain_completions(&mut ds);
+        let got = self.shared.pop_delivery(&mut ds, idx);
+        drop(ds);
+        if drained > 0 {
+            // The drain may have moved *other* channels' completions
+            // into their rings; their blocked receivers wake here.
+            self.shared.done.notify_if_waiting();
+        }
+        got
     }
 
     /// Blocking delivery: waits for the channel's next in-order
@@ -531,27 +673,60 @@ impl StreamPipeline {
     /// the panic is raised.
     pub fn recv(&self, channel: ChannelId) -> Option<Completion> {
         let idx = self.chan(channel);
-        let mut st = self.lock();
         loop {
-            if let Some(done) = self.pop_delivery(&mut st, idx) {
+            let mut ds = self.shared.delivery.lock().expect("stream delivery poisoned");
+            let drained = self.shared.drain_completions(&mut ds);
+            let got = self.shared.pop_delivery(&mut ds, idx);
+            drop(ds);
+            if drained > 0 {
+                self.shared.done.notify_if_waiting();
+            }
+            if let Some(done) = got {
                 return Some(done);
             }
-            if st.worker_panicked {
-                // Drop the guard first: this panic reports a dead
-                // pipeline, it must not also poison the state mutex.
-                drop(st);
+            if self.shared.worker_panicked.load(Ordering::SeqCst) {
                 panic!(
                     "a stream worker panicked; its claimed symbols are lost and the pipeline \
                      is dead"
                 );
             }
-            if st.channels[idx].delivered == st.channels[idx].next_seq {
+            let chan = &self.shared.chans[idx];
+            // delivered is loaded first: it only trails next_seq, so
+            // equality here means the channel was truly drained.
+            if chan.delivered.load(Ordering::SeqCst) == chan.next_seq.load(Ordering::SeqCst) {
                 return None;
             }
-            st.recv_waiting += 1;
-            st = self.shared.done.wait(st).expect("stream state poisoned");
-            st.recv_waiting -= 1;
+            // Park on the done gate; the predicate re-check is
+            // lock-free (outbox occupancy hints + the channel's
+            // completed/delivered mirrors), so no waiter ever holds the
+            // gate and a scheduler or delivery lock together.
+            let gate = &self.shared.done;
+            gate.waiting.fetch_add(1, Ordering::SeqCst);
+            let mut g = gate.m.lock().expect("stream gate poisoned");
+            while !self.recv_progress(idx) {
+                g = gate.cv.wait(g).expect("stream gate poisoned");
+            }
+            drop(g);
+            gate.waiting.fetch_sub(1, Ordering::SeqCst);
         }
+    }
+
+    /// Whether a parked receiver of channel `idx` has anything to act
+    /// on: a poisoned pipeline, a non-empty worker outbox, a completion
+    /// already drained into the channel's ring, or a fully-drained
+    /// channel (time to return `None`). Outboxes are checked *before*
+    /// the completed mirror so a concurrent drain (which bumps the
+    /// mirror before clearing the hint) cannot slip between the loads.
+    fn recv_progress(&self, idx: usize) -> bool {
+        if self.shared.worker_panicked.load(Ordering::SeqCst) {
+            return true;
+        }
+        if self.shared.cbufs.iter().any(|c| c.len_hint.load(Ordering::SeqCst) > 0) {
+            return true;
+        }
+        let chan = &self.shared.chans[idx];
+        chan.completed.load(Ordering::SeqCst) > chan.delivered.load(Ordering::SeqCst)
+            || chan.delivered.load(Ordering::SeqCst) == chan.next_seq.load(Ordering::SeqCst)
     }
 
     /// Symbols accepted on `channel` but not yet delivered (queued, in
@@ -561,52 +736,75 @@ impl StreamPipeline {
     ///
     /// Panics if `channel` did not come from this pipeline's builder.
     pub fn outstanding(&self, channel: ChannelId) -> u64 {
-        let idx = self.chan(channel);
-        let st = self.lock();
-        st.channels[idx].next_seq - st.channels[idx].delivered
+        let chan = &self.shared.chans[self.chan(channel)];
+        // delivered first: it only trails next_seq, so the subtraction
+        // can never underflow even against concurrent submitters.
+        let delivered = chan.delivered.load(Ordering::SeqCst);
+        chan.next_seq.load(Ordering::SeqCst) - delivered
     }
 
     /// Stops accepting new submissions. Already-accepted work keeps
-    /// flowing: workers drain the queue and completions stay
+    /// flowing: workers drain every shard and completions stay
     /// retrievable. Blocked [`StreamPipeline::submit`] callers return
     /// [`SubmitError::Closed`].
     pub fn close(&self) {
-        let mut st = self.lock();
-        st.closed = true;
-        drop(st);
+        self.shared.closed.store(true, Ordering::SeqCst);
+        for shard in &self.shared.shards {
+            // Notify under the shard lock so a worker between its
+            // predicate check and its wait cannot miss the wake.
+            // Poison-tolerant: close also runs from Drop during unwind.
+            let _g = shard.q.lock().ok();
+            shard.work.notify_all();
+        }
         self.shared.space.notify_all();
-        self.shared.work.notify_all();
         self.shared.done.notify_all();
     }
 
     /// Whether [`StreamPipeline::close`] (or shutdown) has been called.
     pub fn is_closed(&self) -> bool {
-        self.lock().closed
+        self.shared.closed.load(Ordering::SeqCst)
     }
 
-    /// A snapshot of the pipeline's counters. Cheap: one lock, no
-    /// queue traversal.
+    /// A snapshot of the pipeline's counters. Cheap: the delivery lock
+    /// (plus one brief shard lock each for the per-shard high-water
+    /// marks), no queue traversal.
     pub fn stats(&self) -> StreamStats {
-        let st = self.lock();
+        let mut ds = self.shared.delivery.lock().expect("stream delivery poisoned");
+        // Fold in completions still sitting in worker outboxes so
+        // `completed` counts every finished transform, not just the
+        // drained ones.
+        let drained = self.shared.drain_completions(&mut ds);
+        let per_channel: Vec<ChannelStats> = ds
+            .rings
+            .iter()
+            .enumerate()
+            .map(|(i, ring)| ChannelStats {
+                submitted: self.shared.chans[i].next_seq.load(Ordering::SeqCst),
+                completed: ring.completed,
+                delivered: ring.delivered,
+            })
+            .collect();
+        drop(ds);
+        if drained > 0 {
+            self.shared.done.notify_if_waiting();
+        }
+        let shard_high_water: Vec<usize> =
+            self.shared.shards.iter().map(|s| s.lock().high_water).collect();
         StreamStats {
-            submitted: st.channels.iter().map(|c| c.next_seq).sum(),
-            completed: st.channels.iter().map(|c| c.completed).sum(),
-            delivered: st.channels.iter().map(|c| c.delivered).sum(),
-            rejected: st.rejected,
-            in_queue: st.queue.len(),
-            in_flight: st.in_flight,
+            submitted: per_channel.iter().map(|c| c.submitted).sum(),
+            completed: per_channel.iter().map(|c| c.completed).sum(),
+            delivered: per_channel.iter().map(|c| c.delivered).sum(),
+            rejected: self.shared.budget.rejected.load(Ordering::SeqCst),
+            in_queue: self.shared.budget.queued.load(Ordering::SeqCst),
+            in_flight: self.shared.budget.in_flight.load(Ordering::SeqCst),
             queue_capacity: self.queue_depth,
-            queue_high_water: st.high_water,
-            worker_transforms: st.worker_transforms.clone(),
-            per_channel: st
-                .channels
-                .iter()
-                .map(|c| ChannelStats {
-                    submitted: c.next_seq,
-                    completed: c.completed,
-                    delivered: c.delivered,
-                })
-                .collect(),
+            queue_high_water: self.shared.budget.high_water.load(Ordering::SeqCst),
+            shard_high_water,
+            worker_transforms: self.shared.wstats.iter().map(|w| w.transforms.get()).collect(),
+            worker_local: self.shared.wstats.iter().map(|w| w.local_symbols.get()).collect(),
+            worker_stolen: self.shared.wstats.iter().map(|w| w.stolen_symbols.get()).collect(),
+            worker_steals: self.shared.wstats.iter().map(|w| w.steals.get()).collect(),
+            per_channel,
             obs: self.shared.obs.as_ref().map(|obs| StreamObs {
                 per_channel: (0..self.specs.len())
                     .map(|i| {
@@ -627,10 +825,10 @@ impl StreamPipeline {
     }
 
     /// Graceful shutdown: closes the intake, lets the workers drain
-    /// every accepted symbol, joins the pool, and returns the final
-    /// stats plus every undelivered [`Completion`] (per-channel
-    /// submission order, channels in registration order) — accepted
-    /// work is never lost, even if the caller stopped receiving.
+    /// every shard, joins the pool, and returns the final stats plus
+    /// every undelivered [`Completion`] (per-channel submission order,
+    /// channels in registration order) — accepted work is never lost,
+    /// even if the caller stopped receiving.
     ///
     /// # Panics
     ///
@@ -641,25 +839,23 @@ impl StreamPipeline {
             handle.join().expect("stream worker panicked");
         }
         let leftover = {
-            let mut st = self.lock();
+            let mut ds = self.shared.delivery.lock().expect("stream delivery poisoned");
+            self.shared.drain_completions(&mut ds);
             let mut leftover = Vec::new();
             for idx in 0..self.specs.len() {
-                while let Some(done) = self.pop_delivery(&mut st, idx) {
+                while let Some(done) = self.shared.pop_delivery(&mut ds, idx) {
                     leftover.push(done);
                 }
-                let chan = &st.channels[idx];
+                let ring = &ds.rings[idx];
                 debug_assert!(
-                    chan.parked.iter().all(Option::is_none) && chan.delivered == chan.next_seq,
+                    ring.parked.iter().all(Option::is_none)
+                        && ring.delivered == self.shared.chans[idx].next_seq.load(Ordering::SeqCst),
                     "channel {idx} lost work at shutdown"
                 );
             }
             leftover
         };
         (self.stats(), leftover)
-    }
-
-    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
-        self.shared.state.lock().expect("stream state poisoned")
     }
 
     fn validate(&self, channel: ChannelId, input: &[C64], output: &[C64]) -> Result<(), FftError> {
@@ -674,51 +870,6 @@ impl StreamPipeline {
             });
         }
         Ok(())
-    }
-
-    /// Assigns the next per-channel sequence number and enqueues the
-    /// job. Caller holds the lock and has already checked capacity.
-    fn enqueue(
-        &self,
-        st: &mut State,
-        channel: ChannelId,
-        input: Vec<C64>,
-        output: Vec<C64>,
-    ) -> u64 {
-        let idx = self.chan(channel);
-        let seq = st.channels[idx].next_seq;
-        st.channels[idx].next_seq += 1;
-        let sampled = self.shared.obs.as_ref().is_some_and(|o| seq.is_multiple_of(o.sample_every));
-        let submitted_at = if sampled { Instant::now() } else { self.shared.epoch };
-        st.queue.push_back(Job { channel, seq, input, output, submitted_at, sampled });
-        st.high_water = st.high_water.max(st.queue.len());
-        if st.idle_workers > 0 {
-            self.shared.work.notify_one();
-        }
-        seq
-    }
-
-    fn pop_delivery(&self, st: &mut State, idx: usize) -> Option<Completion> {
-        let parked = st.channels[idx].pop_next()?;
-        if !parked.sampled {
-            return Some(parked.done);
-        }
-        if let Some(obs) = &self.shared.obs {
-            let now = Instant::now();
-            let base = idx * Stage::COUNT;
-            let rec = &obs.recorder;
-            rec.record(
-                obs.caller_shard,
-                base + Stage::ReorderPark.index(),
-                ns_between(parked.finished_at, now),
-            );
-            rec.record(
-                obs.caller_shard,
-                base + Stage::Deliver.index(),
-                ns_between(parked.submitted_at, now),
-            );
-        }
-        Some(parked.done)
     }
 }
 
@@ -735,35 +886,45 @@ impl Drop for StreamPipeline {
     }
 }
 
-struct Shared {
-    state: Mutex<State>,
-    /// Submitters waiting for queue space.
-    space: Condvar,
-    /// Workers waiting for jobs.
-    work: Condvar,
-    /// Receivers waiting for completions.
-    done: Condvar,
+/// Everything the pool and its callers share. Split by role: the
+/// scheduler side (`shards`, `budget`), the delivery side (`cbufs`,
+/// `delivery`), the wake gates, per-channel atomics, and the metric
+/// store — each with its own synchronisation, so the three stages of a
+/// symbol's life never serialize on a common lock.
+pub(crate) struct Shared {
+    /// One local queue per worker; a channel's symbols go to its home
+    /// worker's shard.
+    pub(crate) shards: Vec<Shard>,
+    /// The pipeline-wide lock-free submission budget.
+    pub(crate) budget: Budget,
+    /// Submitters blocked waiting for budget space.
+    pub(crate) space: Gate,
+    /// Receivers blocked waiting for completions.
+    pub(crate) done: Gate,
+    /// The reorder rings, behind the delivery-only lock. Workers never
+    /// take it.
+    pub(crate) delivery: Mutex<DeliveryState>,
+    /// One completion outbox per worker.
+    pub(crate) cbufs: Vec<CompletionBuf>,
+    /// Per-channel lock-free state: seq counters and the home worker.
+    pub(crate) chans: Vec<ChanShared>,
+    /// Per-worker scheduler counters (transforms, local/stolen, steals).
+    pub(crate) wstats: Vec<WorkerCounters>,
+    /// Intake closed ([`StreamPipeline::close`] or a worker panic).
+    pub(crate) closed: AtomicBool,
+    /// Set by a worker's unwind guard: jobs it had claimed are gone,
+    /// so blocking callers must fail loudly instead of waiting forever.
+    pub(crate) worker_panicked: AtomicBool,
+    /// Rotates which idle worker gets poked to steal, so repeated pokes
+    /// spread across the pool.
+    pub(crate) poke_cursor: AtomicUsize,
     /// Metrics recorder, when the pipeline was built with
     /// observability on. Recording is lock-free; `None` removes every
     /// clock read from the hot path.
-    obs: Option<PipelineObs>,
+    pub(crate) obs: Option<PipelineObs>,
     /// Stand-in stamp for the metrics-off path: `Instant` fields still
     /// need a value, but nothing may read the clock for them.
-    epoch: Instant,
-}
-
-/// The pipeline's metric store: `(channel, stage)` series over
-/// per-worker shards plus one caller shard for the delivery-side
-/// stages.
-struct PipelineObs {
-    recorder: Recorder,
-    /// The shard delivery-path records go to (`pop_delivery` runs under
-    /// the state lock, so one shard serves every delivering thread).
-    caller_shard: usize,
-    /// Stage-timing sample rate: symbols whose per-channel sequence
-    /// number is a multiple of this get clock stamps; the rest skip
-    /// every clock read (see [`StreamBuilder::sample_every`]).
-    sample_every: u64,
+    pub(crate) epoch: Instant,
 }
 
 impl core::fmt::Debug for Shared {
@@ -772,264 +933,39 @@ impl core::fmt::Debug for Shared {
     }
 }
 
-struct State {
-    queue: VecDeque<Job>,
-    /// Submission-queue capacity, mirrored here so workers can apply
-    /// the low-watermark wakeup rule without reaching the pipeline.
-    depth: usize,
-    closed: bool,
-    /// Set by a worker's unwind guard: jobs it had claimed are gone,
-    /// so blocking callers must fail loudly instead of waiting forever.
-    worker_panicked: bool,
-    high_water: usize,
-    rejected: u64,
-    in_flight: usize,
-    /// Workers currently parked on the `work` condvar; submitters only
-    /// signal it when somebody is listening.
-    idle_workers: usize,
-    /// Submitters blocked on the `space` condvar.
-    space_waiting: usize,
-    /// Receivers blocked on the `done` condvar.
-    recv_waiting: usize,
-    worker_transforms: Vec<u64>,
-    channels: Vec<ChanState>,
+/// Per-channel lock-free state. `next_seq` is only advanced under the
+/// channel's home shard lock (so queue order matches seq order), but
+/// read lock-free; `delivered`/`completed` mirror the ring counters so
+/// `outstanding` and the recv wait predicate never touch the delivery
+/// lock.
+pub(crate) struct ChanShared {
+    pub(crate) next_seq: AtomicU64,
+    pub(crate) delivered: AtomicU64,
+    pub(crate) completed: AtomicU64,
+    /// The worker this channel's symbols are queued on.
+    pub(crate) home: usize,
 }
 
-#[derive(Default)]
-struct ChanState {
-    /// Next sequence number to assign on submission.
-    next_seq: u64,
-    /// Next sequence number to deliver; everything below has been
-    /// handed to the caller.
-    delivered: u64,
-    /// Symbols finished by workers (delivered or parked).
-    completed: u64,
-    /// Reorder ring: slot `i` holds the completion for sequence number
-    /// `delivered + i`, or `None` while that symbol is still queued or
-    /// in flight. A ring (rather than a map) keeps its capacity across
-    /// park/deliver cycles, so steady-state parking allocates nothing.
-    parked: VecDeque<Option<Parked>>,
-}
-
-impl ChanState {
-    /// Parks a finished symbol at its in-order slot.
-    fn park(&mut self, done: Parked) {
-        let offset = usize::try_from(done.done.seq - self.delivered).expect("reorder window fits");
-        while self.parked.len() <= offset {
-            self.parked.push_back(None);
-        }
-        self.parked[offset] = Some(done);
-    }
-
-    /// Takes the next in-order completion, if it has been parked.
-    fn pop_next(&mut self) -> Option<Parked> {
-        match self.parked.front_mut() {
-            Some(slot @ Some(_)) => {
-                let done = slot.take();
-                self.parked.pop_front();
-                self.delivered += 1;
-                done
-            }
-            _ => None,
-        }
-    }
-}
-
-struct Job {
-    channel: ChannelId,
-    seq: u64,
-    input: Vec<C64>,
-    output: Vec<C64>,
-    /// When the submission was accepted (the `epoch` stand-in for
-    /// unsampled symbols and with metrics off).
-    submitted_at: Instant,
-    /// Whether this symbol carries stage-timing stamps (metrics on and
-    /// its sequence number hit the sample rate).
-    sampled: bool,
-}
-
-/// A finished symbol in the reorder ring, carrying the stamps the
-/// delivery path turns into reorder-park and end-to-end latencies.
-struct Parked {
-    done: Completion,
-    submitted_at: Instant,
-    finished_at: Instant,
-    sampled: bool,
-}
-
-/// A worker's private per-channel execution front: the raw engine, or
-/// an [`Ofdm`] modem wrapping it.
-enum Front {
-    Raw { engine: Box<dyn FftEngine>, dir: Direction },
-    Modem { ofdm: Ofdm, modulate: bool },
-}
-
-impl Front {
-    fn build(spec: &ChannelSpec, factory: RegistryFactory) -> Result<Front, FftError> {
-        let engine = take_engine(factory, spec.n, &spec.engine)?;
-        Ok(match spec.op {
-            ChannelOp::Transform(dir) => Front::Raw { engine, dir },
-            ChannelOp::Modulate { cp } => {
-                Front::Modem { ofdm: Ofdm::with_engine(engine, cp)?, modulate: true }
-            }
-            ChannelOp::Demodulate { cp } => {
-                Front::Modem { ofdm: Ofdm::with_engine(engine, cp)?, modulate: false }
-            }
-        })
-    }
-
-    fn run(&mut self, input: &[C64], output: &mut [C64]) -> Result<(), FftError> {
-        match self {
-            Front::Raw { engine, dir } => engine.execute_into(input, output, *dir),
-            Front::Modem { ofdm, modulate: true } => ofdm.modulate_into(input, output),
-            Front::Modem { ofdm, modulate: false } => ofdm.demodulate_into(input, output),
-        }
-    }
-
-    fn cycles(&self) -> Option<u64> {
-        match self {
-            Front::Raw { engine, .. } => engine.cycles(),
-            Front::Modem { ofdm, .. } => ofdm.engine().cycles(),
-        }
-    }
-}
-
-/// Marks the pipeline dead if its worker unwinds — a panicking backend
-/// must wake (and fail) blocked `submit`/`recv` callers, not strand
-/// them on a condvar waiting for jobs that will never be parked.
-struct PanicGuard<'a>(&'a Shared);
-
-impl Drop for PanicGuard<'_> {
-    fn drop(&mut self) {
-        if std::thread::panicking() {
-            // Ignore a poisoned mutex here: every other accessor treats
-            // poison as fatal anyway, which surfaces the failure too.
-            if let Ok(mut st) = self.0.state.lock() {
-                st.worker_panicked = true;
-                st.closed = true;
-            }
-            self.0.space.notify_all();
-            self.0.work.notify_all();
-            self.0.done.notify_all();
-        }
-    }
-}
-
-fn worker_loop(idx: usize, shared: &Shared, specs: &[ChannelSpec], factory: RegistryFactory) {
-    let _guard = PanicGuard(shared);
-    // This worker's metrics shard — recording is two relaxed atomic
-    // adds, never a lock.
-    let obs = shared.obs.as_ref().map(|o| o.recorder.handle(idx));
-    // Private engines + scratch, warmed on a zero symbol per channel so
-    // the first real symbol already runs the allocation-free path.
-    let mut fronts: Vec<Front> = specs
-        .iter()
-        .map(|spec| {
-            let mut front = Front::build(spec, factory)
-                .expect("channel validated at build time but not constructible in worker");
-            let input = vec![Complex::zero(); spec.input_len()];
-            let mut output = vec![Complex::zero(); spec.output_len()];
-            front.run(&input, &mut output).expect("warmup transform failed");
-            front
-        })
-        .collect();
-
-    // Job and completion staging reused across iterations: the worker
-    // loop itself allocates nothing per symbol in steady state.
-    let mut jobs: Vec<Job> = Vec::with_capacity(WORKER_BATCH);
-    let mut finished: Vec<Parked> = Vec::with_capacity(WORKER_BATCH);
-    loop {
-        // Claim up to WORKER_BATCH already-queued jobs in one lock
-        // acquisition — never waiting for a batch to fill.
-        let wake_submitters = {
-            let mut st = shared.state.lock().expect("stream state poisoned");
-            loop {
-                while jobs.len() < WORKER_BATCH {
-                    match st.queue.pop_front() {
-                        Some(job) => jobs.push(job),
-                        None => break,
-                    }
-                }
-                if !jobs.is_empty() {
-                    st.in_flight += jobs.len();
-                    // Low-watermark backpressure release: don't wake a
-                    // blocked submitter for every freed slot — let the
-                    // queue drain to half capacity first, so each
-                    // wakeup is amortised over ~depth/2 submissions
-                    // instead of costing a block/wake cycle per batch.
-                    break st.space_waiting > 0 && st.queue.len() <= st.depth / 2;
-                }
-                if st.closed {
-                    return;
-                }
-                st.idle_workers += 1;
-                st = shared.work.wait(st).expect("stream state poisoned");
-                st.idle_workers -= 1;
-            }
-        };
-        if wake_submitters {
-            shared.space.notify_all();
-        }
-
-        // Only sampled jobs read the clock: two stamps bracketing the
-        // transform. Queue-wait charges a job up to the moment its own
-        // transform begins — including time spent claimed-but-behind
-        // earlier jobs in this batch, since it was not transformable
-        // anywhere else during that window.
-        for mut job in jobs.drain(..) {
-            let front = &mut fronts[job.channel.index];
-            let begin = if job.sampled { Instant::now() } else { shared.epoch };
-            let error = front.run(&job.input, &mut job.output).err();
-            let finished_at = match &obs {
-                Some(rec) if job.sampled => {
-                    let end = Instant::now();
-                    let base = job.channel.index * Stage::COUNT;
-                    rec.record(
-                        base + Stage::QueueWait.index(),
-                        ns_between(job.submitted_at, begin),
-                    );
-                    rec.record(base + Stage::Transform.index(), ns_between(begin, end));
-                    end
-                }
-                _ => shared.epoch,
-            };
-            finished.push(Parked {
-                done: Completion {
-                    channel: job.channel,
-                    seq: job.seq,
-                    input: job.input,
-                    output: job.output,
-                    cycles: front.cycles(),
-                    error,
-                },
-                submitted_at: job.submitted_at,
-                finished_at,
-                sampled: job.sampled,
-            });
-        }
-
-        let wake_receivers = {
-            let mut st = shared.state.lock().expect("stream state poisoned");
-            st.in_flight -= finished.len();
-            st.worker_transforms[idx] += finished.len() as u64;
-            for done in finished.drain(..) {
-                let chan = &mut st.channels[done.done.channel.index];
-                chan.completed += 1;
-                chan.park(done);
-            }
-            st.recv_waiting > 0
-        };
-        if wake_receivers {
-            shared.done.notify_all();
-        }
-    }
+/// The pipeline's metric store: `(channel, stage)` series over
+/// per-worker shards plus one caller shard for the delivery-side
+/// stages.
+pub(crate) struct PipelineObs {
+    pub(crate) recorder: Recorder,
+    /// The shard delivery-path records go to (`pop_delivery` runs under
+    /// the delivery lock, so one shard serves every delivering thread).
+    pub(crate) caller_shard: usize,
+    /// Stage-timing sample rate: symbols whose per-channel sequence
+    /// number is a multiple of this get clock stamps; the rest skip
+    /// every clock read (see [`StreamBuilder::sample_every`]).
+    pub(crate) sample_every: u64,
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use afft_core::engine::EngineRegistry;
+    use afft_core::engine::{EngineRegistry, FftEngine};
     use afft_core::ofdm::{qpsk_demap, qpsk_map};
+    use afft_num::Complex;
 
     fn tagged(n: usize, tag: f64) -> Vec<C64> {
         (0..n).map(|i| Complex::new(tag, i as f64 / n as f64)).collect()
@@ -1169,9 +1105,11 @@ mod tests {
         let ch = builder.channel(ChannelSpec::transform(64, "dft_naive", Direction::Forward));
         let pipeline = builder.build().unwrap();
         assert_eq!(pipeline.queue_capacity(), 2);
-        assert_eq!(pipeline.worker_count(), 1);
+        // AFFT_STREAM_WORKERS may force a larger pool in CI.
+        assert!(pipeline.worker_count() >= 1);
         assert_eq!(pipeline.channel_count(), 1);
         assert_eq!(ch.index(), 0);
+        assert!(pipeline.home_worker(ch) < pipeline.worker_count());
         for s in 0..6u64 {
             pipeline.submit(ch, tagged(64, s as f64), vec![Complex::zero(); 64]).unwrap();
         }
@@ -1179,6 +1117,8 @@ mod tests {
         let stats = pipeline.stats();
         assert_eq!(stats.delivered, 6);
         assert!(stats.queue_high_water >= 1 && stats.queue_high_water <= 2);
+        assert_eq!(stats.shard_high_water.len(), pipeline.worker_count());
+        assert!(stats.shard_high_water[pipeline.home_worker(ch)] >= 1);
         assert_eq!(stats.per_channel.len(), 1);
         assert_eq!(stats.per_channel[0].delivered, 6);
         assert!(stats.throughput() > 0.0);
@@ -1359,5 +1299,19 @@ mod tests {
         let spec = ChannelSpec::from_plan(&plan, ChannelOp::Demodulate { cp: 32 });
         assert_eq!(spec.n, 128);
         assert_eq!(spec.engine, plan.best().name);
+    }
+
+    #[test]
+    fn round_robin_homes_cover_the_pool() {
+        let mut builder =
+            StreamPipeline::builder(EngineRegistry::standard).workers(2).queue_depth(8);
+        let chs: Vec<ChannelId> = (0..4)
+            .map(|_| builder.channel(ChannelSpec::transform(64, "radix2_dit", Direction::Forward)))
+            .collect();
+        let pipeline = builder.build().unwrap();
+        let workers = pipeline.worker_count();
+        for (i, ch) in chs.iter().enumerate() {
+            assert_eq!(pipeline.home_worker(*ch), i % workers, "round-robin affinity");
+        }
     }
 }

@@ -1,0 +1,200 @@
+//! The sharded submission side of the scheduler: one bounded local
+//! queue per worker, a lock-free global in-flight budget, and the two
+//! wake gates blocked callers park on.
+//!
+//! # Locking discipline
+//!
+//! Every lock here is leaf-like and the hot paths shard by worker:
+//!
+//! * A submitter touches exactly one [`Shard`] mutex — its channel's
+//!   home shard — plus one atomic CAS on the [`Budget`]. Two channels
+//!   homed on different workers never contend.
+//! * A worker claiming local work touches only its own shard mutex; a
+//!   worker stealing touches one victim shard mutex. No lock is shared
+//!   by more than one worker on the steady-state (local-hit) path.
+//! * The [`Gate`] mutexes are used **only** when a caller actually
+//!   blocks (`submit` with the budget exhausted, `recv` with nothing
+//!   deliverable) and by the notifying side, which first checks the
+//!   gate's waiter count with one atomic load — an uncontended stream
+//!   never locks them.
+//!
+//! Lock ordering: a gate mutex is only ever the *outermost* lock
+//! (blocked callers re-check state through shard/delivery locks while
+//! holding it); workers acquire shard, completion-buffer, and gate
+//! mutexes one at a time, never nested. No cycle exists.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+use afft_num::C64;
+
+use crate::pipeline::ChannelId;
+
+/// One queued symbol, parked in a shard's local queue until a worker
+/// claims it.
+pub(crate) struct Job {
+    pub(crate) channel: ChannelId,
+    pub(crate) seq: u64,
+    pub(crate) input: Vec<C64>,
+    pub(crate) output: Vec<C64>,
+    /// When the submission was accepted (the `epoch` stand-in for
+    /// unsampled symbols and with metrics off).
+    pub(crate) submitted_at: Instant,
+    /// Whether this symbol carries stage-timing stamps (metrics on and
+    /// its sequence number hit the sample rate).
+    pub(crate) sampled: bool,
+}
+
+/// The mutex-guarded part of one worker's shard: its local queue and
+/// the park-state handshake with submitters.
+pub(crate) struct ShardQ {
+    pub(crate) queue: VecDeque<Job>,
+    /// The home worker is parked on this shard's condvar.
+    pub(crate) idle: bool,
+    /// A submitter elsewhere asked this (idle) worker to wake and
+    /// attempt a steal — cleared by the worker on wake, so a poke is
+    /// never lost to the "queue still empty" re-check.
+    pub(crate) poked: bool,
+    /// Deepest this shard's local queue has ever been.
+    pub(crate) high_water: usize,
+}
+
+/// One per-worker scheduler shard: the local queue, the condvar its
+/// home worker parks on, and a lock-free mirror of the parked state so
+/// submitters can scan for a thief to poke without touching foreign
+/// locks.
+pub(crate) struct Shard {
+    pub(crate) q: Mutex<ShardQ>,
+    /// The home worker waits here; submitters notify on push (home
+    /// idle) or poke (home busy, this worker idle).
+    pub(crate) work: Condvar,
+    /// Lock-free mirror of [`ShardQ::idle`], maintained by the home
+    /// worker around its park — the poke scan reads this instead of
+    /// locking every shard.
+    pub(crate) idle_hint: AtomicBool,
+}
+
+impl Shard {
+    pub(crate) fn new(depth: usize) -> Shard {
+        Shard {
+            q: Mutex::new(ShardQ {
+                queue: VecDeque::with_capacity(depth),
+                idle: false,
+                poked: false,
+                high_water: 0,
+            }),
+            work: Condvar::new(),
+            idle_hint: AtomicBool::new(false),
+        }
+    }
+
+    pub(crate) fn lock(&self) -> std::sync::MutexGuard<'_, ShardQ> {
+        self.q.lock().expect("stream shard poisoned")
+    }
+}
+
+/// The global backpressure budget: how many accepted symbols may sit
+/// in local queues, pipeline-wide. All lock-free — acceptance is one
+/// CAS, release is one `fetch_sub` — so the budget never becomes the
+/// serialization point the old single queue was.
+pub(crate) struct Budget {
+    /// Symbols currently queued (accepted, not yet claimed) across all
+    /// shards. Bounded by `depth`.
+    pub(crate) queued: AtomicUsize,
+    /// The bound: [`StreamBuilder::queue_depth`](crate::StreamBuilder::queue_depth).
+    pub(crate) depth: usize,
+    /// Max concurrent `queued` ever observed (the global queue
+    /// high-water mark; per-shard marks live in [`ShardQ`]).
+    pub(crate) high_water: AtomicUsize,
+    /// `try_submit` refusals.
+    pub(crate) rejected: AtomicU64,
+    /// Symbols claimed by a worker and not yet parked as completions.
+    pub(crate) in_flight: AtomicUsize,
+}
+
+impl Budget {
+    pub(crate) fn new(depth: usize) -> Budget {
+        Budget {
+            queued: AtomicUsize::new(0),
+            depth,
+            high_water: AtomicUsize::new(0),
+            rejected: AtomicU64::new(0),
+            in_flight: AtomicUsize::new(0),
+        }
+    }
+
+    /// Tries to reserve one queue slot; `false` means the pipeline-wide
+    /// budget is exhausted (the backpressure signal). On success the
+    /// global high-water mark is advanced to the post-acquire depth.
+    pub(crate) fn try_acquire(&self) -> bool {
+        let got = self
+            .queued
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |q| (q < self.depth).then(|| q + 1));
+        match got {
+            Ok(prev) => {
+                self.high_water.fetch_max(prev + 1, Ordering::SeqCst);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Returns unused slots (a refused enqueue on a closing pipeline).
+    pub(crate) fn release(&self, n: usize) {
+        self.queued.fetch_sub(n, Ordering::SeqCst);
+    }
+
+    /// A worker claimed `n` queued symbols: frees their queue slots and
+    /// moves them into the in-flight tally.
+    pub(crate) fn on_claim(&self, n: usize) {
+        self.queued.fetch_sub(n, Ordering::SeqCst);
+        self.in_flight.fetch_add(n, Ordering::SeqCst);
+    }
+
+    /// Whether freed queue space should wake blocked submitters: the
+    /// low-watermark rule — let the queue drain to half capacity so
+    /// each wake is amortised over ~depth/2 submissions.
+    pub(crate) fn at_low_watermark(&self) -> bool {
+        self.queued.load(Ordering::SeqCst) <= self.depth / 2
+    }
+}
+
+/// A park-bench for blocked callers: blocked `submit`ters (space gate)
+/// and blocked `recv`ers (done gate). The mutex guards nothing but the
+/// condvar protocol; all predicate state lives in the shards, budget,
+/// and delivery structures, re-checked by waiters while holding the
+/// gate so the notify-under-mutex handshake closes the lost-wakeup
+/// window.
+pub(crate) struct Gate {
+    pub(crate) m: Mutex<()>,
+    pub(crate) cv: Condvar,
+    /// Callers currently parked (or about to park — incremented before
+    /// the re-check). Notifiers read this with one atomic load and
+    /// skip the gate lock entirely when it is zero.
+    pub(crate) waiting: AtomicUsize,
+}
+
+impl Gate {
+    pub(crate) fn new() -> Gate {
+        Gate { m: Mutex::new(()), cv: Condvar::new(), waiting: AtomicUsize::new(0) }
+    }
+
+    /// Wakes every parked caller, taking the gate mutex only if anyone
+    /// is (or is about to be) parked.
+    pub(crate) fn notify_if_waiting(&self) {
+        if self.waiting.load(Ordering::SeqCst) > 0 {
+            let _g = self.m.lock().expect("stream gate poisoned");
+            self.cv.notify_all();
+        }
+    }
+
+    /// Unconditional wake — shutdown/poison paths. Tolerates a
+    /// poisoned gate (the worker panic guard runs while unwinding and
+    /// must not double-panic).
+    pub(crate) fn notify_all(&self) {
+        let _g = self.m.lock().ok();
+        self.cv.notify_all();
+    }
+}

@@ -48,11 +48,17 @@ def check_histogram(path, where, hist):
 
 
 def check_stream(path, doc):
-    for key in ("stamp_unix", "n", "symbols", "reps", "workers", "sample_every"):
+    for key in ("stamp_unix", "n", "symbols", "reps", "workers", "call_workers", "sample_every"):
         expect(path, doc, key, (int, float))
     expect(path, doc, "smoke", bool)
     expect(path, doc, "arms", dict)
-    for arm in ("sequential_tps", "threaded_call_tps", "stream_tps", "stream_metrics_tps"):
+    for arm in (
+        "sequential_tps",
+        "threaded_call_tps",
+        "stream_tps",
+        "stream_metrics_tps",
+        "stream_mc_tps",
+    ):
         expect(path, doc["arms"], arm, (int, float))
         if doc["arms"][arm] <= 0:
             fail(path, f"arms.{arm} must be positive, got {doc['arms'][arm]}")
@@ -61,6 +67,23 @@ def check_stream(path, doc):
     expect(path, doc, "queue", dict)
     expect(path, doc["queue"], "capacity", (int, float))
     expect(path, doc["queue"], "high_water", (int, float))
+    # The sharded-scheduler counters from the multi-worker contention
+    # arm. Shallow like everything else, except the one invariant that
+    # is load-bearing: the shard array must match the pool size.
+    expect(path, doc, "scheduler", dict)
+    sched = doc["scheduler"]
+    for key in ("workers", "channels", "steals", "stolen_symbols", "local_symbols"):
+        expect(path, sched, key, (int, float))
+    expect(path, sched, "local_hit_ratio", (int, float))
+    if not 0.0 <= sched["local_hit_ratio"] <= 1.0:
+        fail(path, f"scheduler.local_hit_ratio out of [0, 1]: {sched['local_hit_ratio']}")
+    expect(path, sched, "shard_high_water", list)
+    if len(sched["shard_high_water"]) != sched["workers"]:
+        fail(
+            path,
+            f"scheduler.shard_high_water has {len(sched['shard_high_water'])} entries "
+            f"for {sched['workers']} workers",
+        )
     expect(path, doc, "channels", list)
     if not doc["channels"]:
         fail(path, "channels array is empty")
