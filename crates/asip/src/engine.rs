@@ -174,14 +174,14 @@ impl FftEngine for AsipEngine {
 }
 
 /// [`EngineRegistry::standard`] plus the cycle-accurate ASIP backend
-/// (for sizes the array structure supports; composite 5-smooth sizes
-/// pass through with the software registry only — the array structure
-/// is power-of-two by construction).
+/// (for sizes the array structure supports; other sizes — composite,
+/// prime, arbitrary — pass through with the software registry only,
+/// since the array structure is power-of-two by construction).
 ///
 /// # Errors
 ///
 /// Returns [`FftError::InvalidSize`] unless `EngineRegistry::supports`
-/// holds for `n` (`n >= 2` with prime factors in {2, 3, 5}).
+/// holds for `n` (any `n >= 2`).
 ///
 /// # Examples
 ///

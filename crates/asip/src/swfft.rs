@@ -47,7 +47,11 @@ const TMP: i16 = 32;
 pub fn generate_software_fft(layout: &Layout) -> Result<Program, FftError> {
     let n = layout.n;
     if !n.is_power_of_two() || n < 4 {
-        return Err(FftError::InvalidSize { n, reason: "software FFT needs a power of two >= 4" });
+        return Err(FftError::InvalidSize {
+            n,
+            reason: "software FFT needs a power of two >= 4",
+            factor: None,
+        });
     }
     let log2n = n.trailing_zeros();
     let mut a = Asm::new();

@@ -32,7 +32,11 @@ use afft_sim::{Machine, MachineConfig, Stats, Timing};
 pub fn generate_fixed_fft(layout: &Layout) -> Result<Program, FftError> {
     let n = layout.n;
     if !n.is_power_of_two() || n < 4 {
-        return Err(FftError::InvalidSize { n, reason: "fixed FFT needs a power of two >= 4" });
+        return Err(FftError::InvalidSize {
+            n,
+            reason: "fixed FFT needs a power of two >= 4",
+            factor: None,
+        });
     }
     let log2n = n.trailing_zeros();
     let mut a = Asm::new();

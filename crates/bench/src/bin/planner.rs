@@ -29,10 +29,12 @@ fn position(plan: &Plan, name: &str) -> String {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let smoke = std::env::args().any(|a| a == "--smoke");
     // The grid mixes powers of two with composite 5-smooth sizes (the
-    // LTE-style bins only `mixed_radix` serves): 60 rides in the smoke
-    // subset so composite planning stays exercised in CI.
+    // LTE-style bins only `mixed_radix` serves) and the prime bin 97,
+    // where the convolution engines (rader, bluestein) do the serving:
+    // 60 and 97 ride in the smoke subset so composite and prime
+    // planning both stay exercised in CI.
     let sizes: &[usize] =
-        if smoke { &[16, 60, 64] } else { &[16, 32, 60, 64, 128, 256, 512, 1024, 1200] };
+        if smoke { &[16, 60, 64, 97] } else { &[16, 32, 60, 64, 97, 128, 256, 512, 1024, 1200] };
 
     let path = Wisdom::default_path();
     let mut planner = Planner::with_factory(registry_with_asip)
@@ -88,9 +90,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!();
 
         // Smoke invariants: every backend ranked, scores sorted.
-        // Composite sizes carry the naive reference plus mixed_radix;
+        // Non-power-of-two sizes carry the naive reference plus at
+        // least one of {mixed_radix, rader} and always bluestein;
         // powers of two carry the full family.
-        let floor = if n.is_power_of_two() { 4 } else { 2 };
+        let floor = if n.is_power_of_two() { 4 } else { 3 };
         assert!(measure.ranking.len() >= floor, "registry too small at N={n}");
         assert_eq!(measure.ranking.len(), estimate.ranking.len());
         assert!(measure.ranking.windows(2).all(|p| p[0].score_ns <= p[1].score_ns));

@@ -29,7 +29,9 @@
 //!
 //! The size grid includes composite (non-power-of-two) bins — 1200 in
 //! `--smoke`, 1536 in the full run — where only `mixed_radix` serves
-//! the transform, so the LTE-style sizes stay on the hot-path radar.
+//! the transform, so the LTE-style sizes stay on the hot-path radar,
+//! plus the prime bin 97 in both runs, where the convolution engines
+//! (`rader`, `bluestein`) carry the transform.
 //!
 //! A full (non-smoke) run additionally writes every arm to
 //! `BENCH_throughput.json` — per-engine transforms/sec by size, the
@@ -110,7 +112,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .and_then(|i| args.get(i + 1))
         .and_then(|s| s.parse::<u64>().ok())
         .unwrap_or_else(|| SystemTime::now().duration_since(UNIX_EPOCH).map_or(0, |d| d.as_secs()));
-    let sizes: &[usize] = if smoke { &[64, 256, 1200] } else { &[64, 128, 256, 512, 1024, 1536] };
+    let sizes: &[usize] =
+        if smoke { &[64, 97, 256, 1200] } else { &[64, 97, 128, 256, 512, 1024, 1536] };
     let budget = Duration::from_millis(if smoke { 5 } else { 150 });
 
     let widths = [16usize, 12, 12, 12, 12];

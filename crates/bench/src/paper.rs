@@ -239,7 +239,7 @@ mod tests {
         if simd {
             expected.push("split_radix_simd");
         }
-        expected.extend(["mcfft", "mixed_radix"]);
+        expected.extend(["mcfft", "mixed_radix", "bluestein"]);
         assert_eq!(names, expected);
         assert!(reports.iter().all(EngineReport::within_tolerance));
     }

@@ -1,0 +1,263 @@
+//! Bluestein's chirp-Z FFT: **any** transform size `n >= 2` as one
+//! cyclic convolution at the next power of two `>= 2n - 1`, computed by
+//! the workspace's own split-radix kernel.
+//!
+//! The identity `km = (k² + m² - (k-m)²) / 2` rewrites the DFT as
+//!
+//! ```text
+//! X[k] = w[k] · Σ_m (x[m]·w[m]) · conj(w[k-m]),   w[j] = W_{2n}^{j²}
+//! ```
+//!
+//! i.e. a linear convolution of the *chirped* input `a[m] = x[m]·w[m]`
+//! with the conjugate chirp `b[j] = conj(w[j])`, followed by one more
+//! chirp multiply. Because `b` is only ever evaluated at lags
+//! `-(n-1)..=n-1`, the linear convolution embeds exactly in a cyclic
+//! convolution of any length `M >= 2n - 1`; choosing the next power of
+//! two lets the plan run it as three `M`-point split-radix FFTs — two
+//! at execute time (the kernel spectrum is fixed at plan time), always
+//! power-of-two, so the recursion trivially terminates regardless of
+//! how adversarial `n`'s factorisation is.
+//!
+//! Plan-time state: the length-`n` chirp table (exact-angle twiddles:
+//! `w[j]` is computed as `W_{2n}^{j² mod 2n}`, never by accumulating
+//! phase, so the chirp does not decohere at large `n`), the forward and
+//! inverse kernel spectra (`M` points each), and the two `M`-point
+//! scratch arenas the convolution ping-pongs through — so
+//! [`bluestein_into`] performs **zero heap allocation per transform**,
+//! the same `execute_into` contract every other kernel in the crate
+//! honours.
+
+use crate::error::FftError;
+use crate::reference::Direction;
+use crate::splitradix::{split_radix_into, SplitRadixPlan};
+use afft_num::{twiddle, Complex, C64};
+
+/// Plan-time state of the chirp-Z kernel: chirp table, kernel spectra
+/// for both directions, the inner power-of-two plan, and the scratch
+/// arenas of the allocation-free execute path.
+#[derive(Debug, Clone)]
+pub struct BluesteinPlan {
+    n: usize,
+    /// Convolution length: the next power of two `>= 2n - 1`.
+    m: usize,
+    /// `chirp[j] = W_{2n}^{j²}` (the forward chirp; the inverse
+    /// conjugates on the fly).
+    chirp: Vec<C64>,
+    /// `FFT_M` of the wrapped conjugate chirp — the fixed half of the
+    /// convolution, per direction.
+    kernel_fwd: Vec<C64>,
+    kernel_inv: Vec<C64>,
+    inner: SplitRadixPlan,
+    buf_a: Vec<C64>,
+    buf_b: Vec<C64>,
+}
+
+/// The chirp `w[j] = W_{2n}^{j² mod 2n}` with the square reduced in
+/// `u128`, so the exact twiddle angle survives any `n` that fits memory.
+fn chirp_at(n: usize, j: usize) -> C64 {
+    let two_n = 2 * n as u128;
+    twiddle(2 * n, ((j as u128 * j as u128) % two_n) as usize)
+}
+
+impl BluesteinPlan {
+    /// Plans a chirp-Z FFT of size `n` — any `n >= 2`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::InvalidSize`] for `n < 2`.
+    pub fn new(n: usize) -> Result<Self, FftError> {
+        if n < 2 {
+            return Err(FftError::InvalidSize { n, reason: "must be at least 2", factor: None });
+        }
+        let m = (2 * n - 1).next_power_of_two();
+        let mut inner = SplitRadixPlan::new(m)?;
+        let chirp: Vec<C64> = (0..n).map(|j| chirp_at(n, j)).collect();
+
+        // The convolution kernel, wrapped cyclically: b[j] = conj(w[j])
+        // for lags 0..n, and the negative lags j in 1..n alias to M - j.
+        let mut buf_a = vec![Complex::zero(); m];
+        let buf_b = vec![Complex::zero(); m];
+        let mut kernel_fwd = vec![Complex::zero(); m];
+        let mut kernel_inv = vec![Complex::zero(); m];
+        for (j, &w) in chirp.iter().enumerate() {
+            buf_a[j] = w.conj();
+            if j > 0 {
+                buf_a[m - j] = w.conj();
+            }
+        }
+        split_radix_into(&mut inner, &buf_a, &mut kernel_fwd, Direction::Forward)?;
+        // The inverse DFT is the same convolution under the conjugated
+        // chirp; its kernel spectrum is precomputed too, so direction
+        // switches cost nothing at execute time.
+        for slot in buf_a.iter_mut() {
+            *slot = slot.conj();
+        }
+        split_radix_into(&mut inner, &buf_a, &mut kernel_inv, Direction::Forward)?;
+        Ok(BluesteinPlan { n, m, chirp, kernel_fwd, kernel_inv, inner, buf_a, buf_b })
+    }
+
+    /// The planned transform size.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Never true for a plan (`n >= 2`).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The internal cyclic-convolution length (the next power of two
+    /// `>= 2n - 1`) — what the op-model and traffic estimates price.
+    pub fn conv_len(&self) -> usize {
+        self.m
+    }
+}
+
+/// Executes the planned chirp-Z FFT into `output` (natural bin order,
+/// unnormalised-DFT contract, no heap allocation).
+///
+/// # Errors
+///
+/// Returns [`FftError::LengthMismatch`] if either buffer is not
+/// `plan.len()` points.
+pub fn bluestein_into(
+    plan: &mut BluesteinPlan,
+    input: &[C64],
+    output: &mut [C64],
+    dir: Direction,
+) -> Result<(), FftError> {
+    let n = plan.n;
+    if input.len() != n {
+        return Err(FftError::LengthMismatch { expected: n, got: input.len() });
+    }
+    if output.len() != n {
+        return Err(FftError::LengthMismatch { expected: n, got: output.len() });
+    }
+    let forward = dir == Direction::Forward;
+    let kernel = if forward { &plan.kernel_fwd } else { &plan.kernel_inv };
+
+    // Chirp the input into the convolution buffer and zero the padding
+    // tail — the previous call's inverse pass dirtied the whole arena,
+    // and a stale tail would alias into the convolution result.
+    for (slot, (&x, &w)) in plan.buf_a.iter_mut().zip(input.iter().zip(&plan.chirp)) {
+        *slot = if forward { x * w } else { x * w.conj() };
+    }
+    for slot in plan.buf_a[n..].iter_mut() {
+        *slot = Complex::zero();
+    }
+
+    // Cyclic convolution by the convolution theorem: two power-of-two
+    // split-radix runs around one pointwise multiply. The inner inverse
+    // is unnormalised (returns M times the convolution); the 1/M fold
+    // rides the final chirp multiply below.
+    split_radix_into(&mut plan.inner, &plan.buf_a, &mut plan.buf_b, Direction::Forward)?;
+    for (slot, &k) in plan.buf_b.iter_mut().zip(kernel) {
+        *slot = *slot * k;
+    }
+    split_radix_into(&mut plan.inner, &plan.buf_b, &mut plan.buf_a, Direction::Inverse)?;
+
+    let scale = 1.0 / plan.m as f64;
+    for (k, (slot, &w)) in output.iter_mut().zip(&plan.chirp).enumerate() {
+        let c = plan.buf_a[k] * scale;
+        *slot = if forward { c * w } else { c * w.conj() };
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::{dft_naive, max_error};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_signal(n: usize, seed: u64) -> Vec<C64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect()
+    }
+
+    #[test]
+    fn matches_naive_at_prime_composite_and_power_of_two_sizes() {
+        // Primes, non-5-smooth composites, a 5-smooth size, a power of
+        // two: the chirp path must not care about the factorisation.
+        for n in [2usize, 3, 7, 11, 17, 31, 97, 101, 64, 60, 77, 126, 251] {
+            let x = random_signal(n, n as u64);
+            let mut plan = BluesteinPlan::new(n).unwrap();
+            let mut got = vec![Complex::zero(); n];
+            for dir in [Direction::Forward, Direction::Inverse] {
+                let want = dft_naive(&x, dir).unwrap();
+                let peak = want.iter().map(|c| c.abs()).fold(0.0, f64::max);
+                bluestein_into(&mut plan, &x, &mut got, dir).unwrap();
+                let err = max_error(&got, &want) / peak;
+                assert!(err < 1e-10, "n={n} {dir:?}: {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn round_trips_within_tolerance() {
+        let n = 97;
+        let x = random_signal(n, 5);
+        let mut plan = BluesteinPlan::new(n).unwrap();
+        let mut spec = vec![Complex::zero(); n];
+        let mut back = vec![Complex::zero(); n];
+        bluestein_into(&mut plan, &x, &mut spec, Direction::Forward).unwrap();
+        bluestein_into(&mut plan, &spec, &mut back, Direction::Inverse).unwrap();
+        let scaled: Vec<C64> = back.iter().map(|&v| v * (1.0 / n as f64)).collect();
+        assert!(max_error(&scaled, &x) < 1e-10);
+    }
+
+    #[test]
+    fn convolution_length_is_next_pow2_of_2n_minus_1() {
+        for (n, m) in [(2usize, 4usize), (7, 16), (97, 256), (1009, 2048), (1344, 4096)] {
+            assert_eq!(BluesteinPlan::new(n).unwrap().conv_len(), m, "n={n}");
+        }
+    }
+
+    #[test]
+    fn repeated_calls_reuse_a_clean_arena() {
+        // The zero-padding contract: stale convolution state from one
+        // call must never leak into the next (also across directions).
+        let n = 31;
+        let mut plan = BluesteinPlan::new(n).unwrap();
+        let x = random_signal(n, 1);
+        let y = random_signal(n, 2);
+        let mut first = vec![Complex::zero(); n];
+        let mut again = vec![Complex::zero(); n];
+        bluestein_into(&mut plan, &x, &mut first, Direction::Forward).unwrap();
+        bluestein_into(&mut plan, &y, &mut again, Direction::Inverse).unwrap();
+        bluestein_into(&mut plan, &x, &mut again, Direction::Forward).unwrap();
+        assert_eq!(first, again);
+    }
+
+    #[test]
+    fn rejects_degenerate_sizes_and_length_mismatch() {
+        assert!(matches!(BluesteinPlan::new(0), Err(FftError::InvalidSize { .. })));
+        assert!(matches!(BluesteinPlan::new(1), Err(FftError::InvalidSize { .. })));
+        let mut plan = BluesteinPlan::new(7).unwrap();
+        let x = random_signal(7, 3);
+        let mut short = vec![Complex::zero(); 6];
+        assert!(matches!(
+            bluestein_into(&mut plan, &x, &mut short, Direction::Forward),
+            Err(FftError::LengthMismatch { expected: 7, got: 6 })
+        ));
+        let mut ok = vec![Complex::zero(); 7];
+        assert!(matches!(
+            bluestein_into(&mut plan, &x[..6], &mut ok, Direction::Forward),
+            Err(FftError::LengthMismatch { expected: 7, got: 6 })
+        ));
+    }
+
+    #[test]
+    fn chirp_angles_are_exact_at_large_indices() {
+        // j² overflows naive usize arithmetic well below interesting
+        // sizes on 32-bit hosts; the u128 reduction keeps the angle
+        // exact. Spot-check against the mathematical definition.
+        let n = 1009;
+        for j in [0usize, 1, 500, 1008] {
+            let theta = -std::f64::consts::PI * ((j * j) % (2 * n)) as f64 / n as f64;
+            let want = Complex::new(theta.cos(), theta.sin());
+            assert!(chirp_at(n, j).dist(want) < 1e-12, "j={j}");
+        }
+    }
+}

@@ -60,11 +60,13 @@
 //! ```
 
 use crate::array::ArrayFft;
+use crate::bluestein::{bluestein_into, BluesteinPlan};
 use crate::cached::{cached_fft_into, plain_fft_traffic, CachedFftScratch, MemTraffic};
 use crate::error::FftError;
 use crate::mcfft::{mcfft_into, Epochs, McfftScratch};
 use crate::mixed::{factorize, mixed_radix_into, MixedRadixPlan};
 use crate::plan::Split;
+use crate::rader::{is_prime, rader_into, RaderPlan};
 use crate::radix4::{is_power_of_four, radix4_dit_into, Radix4Plan};
 use crate::realfft::RealFft;
 use crate::reference::{
@@ -172,7 +174,7 @@ impl NaiveDftEngine {
     /// Returns [`FftError::InvalidSize`] for `n == 0`.
     pub fn new(n: usize) -> Result<Self, FftError> {
         if n == 0 {
-            return Err(FftError::InvalidSize { n, reason: "empty transform" });
+            return Err(FftError::InvalidSize { n, reason: "empty transform", factor: None });
         }
         Ok(NaiveDftEngine { n })
     }
@@ -694,12 +696,137 @@ impl FftEngine for RealFftEngine {
     }
 }
 
+/// Bluestein's chirp-Z FFT as an engine: **any** `n >= 2` through one
+/// power-of-two cyclic convolution — the registry's universal fallback
+/// that closes the size domain (primes, 5G NR DFT-s-OFDM sizes,
+/// arbitrary user requests).
+#[derive(Debug, Clone)]
+pub struct BluesteinEngine {
+    plan: BluesteinPlan,
+}
+
+impl BluesteinEngine {
+    /// Plans a chirp-Z FFT of size `n` (any `n >= 2`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::InvalidSize`] for `n < 2`.
+    pub fn new(n: usize) -> Result<Self, FftError> {
+        Ok(BluesteinEngine { plan: BluesteinPlan::new(n)? })
+    }
+
+    /// The internal cyclic-convolution length (next power of two
+    /// `>= 2n - 1`).
+    pub fn conv_len(&self) -> usize {
+        self.plan.conv_len()
+    }
+}
+
+impl FftEngine for BluesteinEngine {
+    fn name(&self) -> &str {
+        "bluestein"
+    }
+
+    fn len(&self) -> usize {
+        self.plan.len()
+    }
+
+    fn execute_into(
+        &mut self,
+        input: &[C64],
+        output: &mut [C64],
+        dir: Direction,
+    ) -> Result<(), FftError> {
+        bluestein_into(&mut self.plan, input, output, dir)
+    }
+
+    fn traffic(&self) -> Option<MemTraffic> {
+        // Two m-point split-radix passes around the pointwise multiply,
+        // plus the O(n + m) chirp/fold passes.
+        let n = self.plan.len();
+        let m = self.plan.conv_len();
+        let stages = m.trailing_zeros() as usize;
+        let inner = 2 * (3 * m * stages / 4);
+        Some(MemTraffic { loads: inner + m + 2 * n, stores: inner + m + 2 * n })
+    }
+
+    fn tolerance(&self) -> f64 {
+        // Three rounding fronts the direct kernels don't have: the
+        // chirp multiply, the kernel-spectrum product, and the final
+        // chirp/1-in-m fold. Each contributes O(eps) relative to the
+        // spectrum peak; 1e-8 (the exact-arithmetic default) still
+        // holds with orders of magnitude to spare at every size the
+        // suite pins, so the default is kept deliberately.
+        1e-8
+    }
+}
+
+/// Rader's prime-length FFT as an engine: prime `p >= 3` through the
+/// `(p-1)`-point generator-permutation cyclic convolution.
+#[derive(Debug, Clone)]
+pub struct RaderEngine {
+    plan: RaderPlan,
+}
+
+impl RaderEngine {
+    /// Plans a Rader FFT of prime size `p >= 3`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::InvalidSize`] unless `p` is an odd prime.
+    pub fn new(p: usize) -> Result<Self, FftError> {
+        Ok(RaderEngine { plan: RaderPlan::new(p)? })
+    }
+
+    /// The engine family serving the inner `(p-1)`-point convolution.
+    pub fn inner_engine(&self) -> &'static str {
+        self.plan.inner_engine()
+    }
+}
+
+impl FftEngine for RaderEngine {
+    fn name(&self) -> &str {
+        "rader"
+    }
+
+    fn len(&self) -> usize {
+        self.plan.len()
+    }
+
+    fn execute_into(
+        &mut self,
+        input: &[C64],
+        output: &mut [C64],
+        dir: Direction,
+    ) -> Result<(), FftError> {
+        rader_into(&mut self.plan, input, output, dir)
+    }
+
+    fn traffic(&self) -> Option<MemTraffic> {
+        // Two (p-1)-point inner passes, the gather/scatter permutations
+        // and the pointwise kernel multiply.
+        let p = self.plan.len();
+        let m = p - 1;
+        let stages = (usize::BITS - m.leading_zeros()) as usize;
+        let inner = 2 * m * stages;
+        Some(MemTraffic { loads: inner + 3 * m, stores: inner + 3 * m })
+    }
+
+    fn tolerance(&self) -> f64 {
+        // One convolution (possibly Bluestein-backed, i.e. up to three
+        // power-of-two FFTs deep) between gather and scatter; same
+        // O(eps)-per-front argument as Bluestein, and the measured
+        // error sits far below the exact-arithmetic default.
+        1e-8
+    }
+}
+
 fn check_pow2_size(n: usize) -> Result<(), FftError> {
     if !n.is_power_of_two() {
-        return Err(FftError::InvalidSize { n, reason: "not a power of two" });
+        return Err(FftError::InvalidSize { n, reason: "not a power of two", factor: None });
     }
     if n < 2 {
-        return Err(FftError::InvalidSize { n, reason: "must be at least 2" });
+        return Err(FftError::InvalidSize { n, reason: "must be at least 2", factor: None });
     }
     Ok(())
 }
@@ -716,25 +843,26 @@ impl EngineRegistry {
         Self::default()
     }
 
-    /// Whether [`EngineRegistry::standard`] supports size `n`: `n >= 2`
-    /// with prime factors in {2, 3, 5}. Every power of two is
-    /// supported (the full radix-2/radix-4/split-radix/epoch family
-    /// registers); composite 5-smooth sizes (60, 1200, 1536, ...) are
-    /// served by `mixed_radix`. Sizes with a prime factor beyond 5 are
-    /// reported unsupported here and rejected by `standard` — never a
-    /// silently near-empty registry.
+    /// Whether [`EngineRegistry::standard`] supports size `n`: **every**
+    /// `n >= 2`. Powers of two get the full
+    /// radix-2/radix-4/split-radix/epoch family; composite 5-smooth
+    /// sizes (60, 1200, 1536, ...) get `mixed_radix`; odd primes get
+    /// `rader`; and `bluestein` registers for every size, so no
+    /// factorisation — however adversarial — falls outside the domain.
+    /// Only the degenerate sizes 0 and 1 are rejected.
     pub fn supports(n: usize) -> bool {
-        factorize(n).is_some()
+        n >= 2
     }
 
     /// Every software backend of this crate that supports size `n`.
     /// For any supported `n` (see [`EngineRegistry::supports`]): the
-    /// naive DFT and the general `mixed_radix` engine. For powers of
-    /// two additionally both radix-2 FFTs, `split_radix` and the MCFFT
-    /// (`radix4_dit` on powers of 4); from `n >= 64` (the smallest
-    /// array-structured size) the array FFT and Baas's cached FFT;
-    /// from `n >= 128` the packed real-input FFT (whose inner complex
-    /// transform is `n/2`).
+    /// naive DFT and the universal `bluestein` chirp-Z engine. For
+    /// 5-smooth sizes the general `mixed_radix` engine; for odd primes
+    /// the `rader` engine. For powers of two additionally both radix-2
+    /// FFTs, `split_radix` and the MCFFT (`radix4_dit` on powers of
+    /// 4); from `n >= 64` (the smallest array-structured size) the
+    /// array FFT and Baas's cached FFT; from `n >= 128` the packed
+    /// real-input FFT (whose inner complex transform is `n/2`).
     ///
     /// On hosts with a detected vector unit the SIMD tier registers
     /// alongside its scalar siblings (from `n >= 16`): `radix4_simd`
@@ -747,12 +875,13 @@ impl EngineRegistry {
     /// # Errors
     ///
     /// Returns [`FftError::InvalidSize`] unless
-    /// [`EngineRegistry::supports`] holds for `n` (`n >= 2`, 5-smooth).
+    /// [`EngineRegistry::supports`] holds for `n` (any `n >= 2`).
     pub fn standard(n: usize) -> Result<Self, FftError> {
         if !Self::supports(n) {
             return Err(FftError::InvalidSize {
                 n,
-                reason: "no registered backend (need n >= 2 with prime factors in {2, 3, 5})",
+                reason: "no registered backend (need n >= 2)",
+                factor: None,
             });
         }
         let simd_tier = simd::active_level().is_simd() && n >= 16;
@@ -773,7 +902,13 @@ impl EngineRegistry {
             }
             registry.register(Box::new(McfftEngine::new(n)?));
         }
-        registry.register(Box::new(MixedRadixEngine::new(n)?));
+        if factorize(n).is_some() {
+            registry.register(Box::new(MixedRadixEngine::new(n)?));
+        }
+        if is_prime(n) && n >= 3 {
+            registry.register(Box::new(RaderEngine::new(n)?));
+        }
+        registry.register(Box::new(BluesteinEngine::new(n)?));
         if Split::for_size(n).is_ok() {
             registry.register(Box::new(ArrayFft::<f64>::new(n)?));
             registry.register(Box::new(CachedFftEngine::new(n)?));
@@ -883,7 +1018,13 @@ mod tests {
             }
             names.push("mcfft");
         }
-        names.push("mixed_radix");
+        if factorize(n).is_some() {
+            names.push("mixed_radix");
+        }
+        if is_prime(n) && n >= 3 {
+            names.push("rader");
+        }
+        names.push("bluestein");
         if Split::for_size(n).is_ok() {
             names.extend(["array_fft", "cached_fft"]);
         }
@@ -905,7 +1046,17 @@ mod tests {
         }
         for n in [60usize, 243, 1200, 1536] {
             let r = EngineRegistry::standard(n).unwrap();
-            assert_eq!(r.names(), ["dft_naive", "mixed_radix"], "n={n}");
+            assert_eq!(r.names(), ["dft_naive", "mixed_radix", "bluestein"], "n={n}");
+        }
+        // Odd primes add Rader's engine; non-5-smooth composites fall
+        // through to the universal chirp-Z fallback alone.
+        for n in [7usize, 17, 97, 251, 1009] {
+            let r = EngineRegistry::standard(n).unwrap();
+            assert_eq!(r.names(), ["dft_naive", "rader", "bluestein"], "n={n}");
+        }
+        for n in [14usize, 77, 1022, 1344] {
+            let r = EngineRegistry::standard(n).unwrap();
+            assert_eq!(r.names(), ["dft_naive", "bluestein"], "n={n}");
         }
         assert!(EngineRegistry::standard(0).is_err());
         assert!(EngineRegistry::standard(1).is_err());
@@ -929,13 +1080,17 @@ mod tests {
 
     #[test]
     fn supported_sizes_are_reported_explicitly() {
-        // 5-smooth sizes are supported; anything with a larger prime
-        // factor is rejected up front (never a near-empty registry).
-        for n in [2usize, 8, 48, 60, 64, 120, 243, 600, 1200, 1536] {
+        // Every n >= 2 is supported — primes and rough composites
+        // included, via the convolution engines. Only the degenerate
+        // sizes are rejected.
+        for n in [
+            2usize, 7, 8, 14, 48, 49, 60, 64, 77, 97, 120, 243, 251, 600, 1009, 1022, 1200, 1344,
+            1536,
+        ] {
             assert!(EngineRegistry::supports(n), "{n}");
             assert!(EngineRegistry::standard(n).is_ok(), "{n}");
         }
-        for n in [0usize, 1, 7, 14, 49, 77, 1022] {
+        for n in [0usize, 1] {
             assert!(!EngineRegistry::supports(n), "{n}");
             assert!(
                 matches!(EngineRegistry::standard(n), Err(FftError::InvalidSize { .. })),
@@ -946,7 +1101,10 @@ mod tests {
 
     #[test]
     fn composite_registry_engines_agree_with_the_naive_dft() {
-        for n in [48usize, 60, 243, 1200] {
+        // 5-smooth composites, odd primes (rader + bluestein) and a
+        // rough composite (bluestein alone): every registered engine
+        // must honour its own tolerance against the naive DFT.
+        for n in [48usize, 60, 77, 97, 243, 251, 1200] {
             let mut registry = EngineRegistry::standard(n).unwrap();
             let x = random_signal(n, n as u64);
             for dir in [Direction::Forward, Direction::Inverse] {

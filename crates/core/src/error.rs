@@ -6,12 +6,17 @@ use core::fmt;
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum FftError {
-    /// The transform size is not a supported power of two.
+    /// The transform size is not supported by the rejecting planner.
     InvalidSize {
         /// The rejected size.
         n: usize,
         /// Why it was rejected.
         reason: &'static str,
+        /// The offending prime factor of `n`, where the rejection is a
+        /// factorisation limit (e.g. the 5-smooth `mixed_radix`
+        /// planner rejecting `n = 14` names `7`); `None` for structural
+        /// rejections (too small, not a power of two, ...).
+        factor: Option<usize>,
     },
     /// An input buffer had the wrong length.
     LengthMismatch {
@@ -40,8 +45,12 @@ pub enum FftError {
 impl fmt::Display for FftError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            FftError::InvalidSize { n, reason } => {
-                write!(f, "invalid FFT size {n}: {reason}")
+            FftError::InvalidSize { n, reason, factor } => {
+                write!(f, "invalid FFT size {n}: {reason}")?;
+                if let Some(p) = factor {
+                    write!(f, " (offending prime factor {p})")?;
+                }
+                Ok(())
             }
             FftError::LengthMismatch { expected, got } => {
                 write!(f, "input length {got} does not match transform size {expected}")
@@ -64,8 +73,19 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = FftError::InvalidSize { n: 3, reason: "not a power of two" };
+        let e = FftError::InvalidSize { n: 3, reason: "not a power of two", factor: None };
         assert_eq!(e.to_string(), "invalid FFT size 3: not a power of two");
+        // A factorisation-limit rejection names the offending prime, so
+        // "why exactly was 14 refused?" is answerable from the message.
+        let e = FftError::InvalidSize {
+            n: 14,
+            reason: "prime factors beyond {2, 3, 5}",
+            factor: Some(7),
+        };
+        assert_eq!(
+            e.to_string(),
+            "invalid FFT size 14: prime factors beyond {2, 3, 5} (offending prime factor 7)"
+        );
         let e = FftError::LengthMismatch { expected: 64, got: 32 };
         assert!(e.to_string().contains("64"));
         let e = FftError::InvalidDecomposition { reason: "factors".into() };

@@ -24,6 +24,10 @@
 //!   family: radix-4 DIT (power-of-4), split-radix (power-of-two,
 //!   lowest known op count) and the general {2, 3, 4, 5} mixed-radix
 //!   engine that serves composite OFDM sizes (60, 1200, 1536, ...);
+//! * [`bluestein`], [`rader`] — the convolution-based engines that
+//!   close the size domain: chirp-Z for **any** `n >= 2` and the
+//!   prime-length generator-permutation FFT, so 5G NR DFT-s-OFDM sizes
+//!   and arbitrary user requests plan instead of erroring;
 //! * [`simd`] — the vectorized kernel tier: AVX2/NEON variants of the
 //!   radix-4 and split-radix butterflies over split real/imag planes,
 //!   behind runtime feature dispatch (`AFFT_NO_SIMD=1` to suppress);
@@ -58,6 +62,7 @@ pub mod address;
 pub mod array;
 pub mod bfp;
 pub mod bits;
+pub mod bluestein;
 pub mod cached;
 pub mod engine;
 pub mod error;
@@ -66,6 +71,7 @@ pub mod mcfft;
 pub mod mixed;
 pub mod ofdm;
 pub mod plan;
+pub mod rader;
 pub mod radix4;
 pub mod realfft;
 pub mod reference;

@@ -59,6 +59,30 @@ pub fn factorize(n: usize) -> Option<Vec<usize>> {
     Some(radices)
 }
 
+/// The smallest prime factor of `n` beyond 5 — the factor that makes
+/// `n` unsupported here, named in the [`FftError::InvalidSize`] the
+/// planner returns so "why exactly was 14 refused?" is answerable from
+/// the message alone. `None` when `n` is 5-smooth or `n < 2`.
+pub fn smallest_rough_factor(n: usize) -> Option<usize> {
+    let mut rest = n;
+    for p in [2usize, 3, 5] {
+        while rest > 1 && rest.is_multiple_of(p) {
+            rest /= p;
+        }
+    }
+    if rest <= 1 {
+        return None;
+    }
+    let mut candidate = 7usize;
+    while candidate * candidate <= rest {
+        if rest.is_multiple_of(candidate) {
+            return Some(candidate);
+        }
+        candidate += 2;
+    }
+    Some(rest)
+}
+
 /// One recursion level of the plan: the sub-transform size at this
 /// depth, its stage radix, and the inter-stage twiddle table.
 #[derive(Debug, Clone)]
@@ -89,8 +113,11 @@ impl MixedRadixPlan {
     ///
     /// Returns [`FftError::InvalidSize`] otherwise.
     pub fn new(n: usize) -> Result<Self, FftError> {
-        let radices = factorize(n)
-            .ok_or(FftError::InvalidSize { n, reason: "prime factors beyond {2, 3, 5}" })?;
+        let radices = factorize(n).ok_or(FftError::InvalidSize {
+            n,
+            reason: "prime factors beyond {2, 3, 5}",
+            factor: smallest_rough_factor(n),
+        })?;
         let mut levels = Vec::with_capacity(radices.len());
         let mut size = n;
         for &radix in &radices {
@@ -349,6 +376,40 @@ mod tests {
         for n in [0usize, 1, 7, 14, 49, 77] {
             assert!(matches!(MixedRadixPlan::new(n), Err(FftError::InvalidSize { .. })), "{n}");
         }
+    }
+
+    /// Regression: the rejection must name the offending prime factor,
+    /// not just the size — `n = 14` is refused *because of the 7*.
+    #[test]
+    fn rejection_names_the_offending_prime_factor() {
+        for (n, factor) in
+            [(14usize, 7usize), (49, 7), (77, 7), (1022, 7), (1009, 1009), (2026, 1013)]
+        {
+            let err = MixedRadixPlan::new(n).unwrap_err();
+            assert!(
+                matches!(err, FftError::InvalidSize { factor: Some(f), .. } if f == factor),
+                "n={n}: {err:?}"
+            );
+            assert!(
+                err.to_string().contains(&format!("offending prime factor {factor}")),
+                "n={n}: {err}"
+            );
+        }
+        // Structural rejections carry no factor.
+        for n in [0usize, 1] {
+            let err = MixedRadixPlan::new(n).unwrap_err();
+            assert!(matches!(err, FftError::InvalidSize { factor: None, .. }), "n={n}: {err:?}");
+        }
+    }
+
+    #[test]
+    fn smallest_rough_factor_finds_the_first_prime_beyond_five() {
+        assert_eq!(smallest_rough_factor(14), Some(7));
+        assert_eq!(smallest_rough_factor(1344), Some(7)); // 2^6 * 3 * 7
+        assert_eq!(smallest_rough_factor(121), Some(11));
+        assert_eq!(smallest_rough_factor(1200), None);
+        assert_eq!(smallest_rough_factor(1), None);
+        assert_eq!(smallest_rough_factor(97), Some(97));
     }
 
     #[test]

@@ -51,7 +51,7 @@ impl Split {
     /// paper evaluates).
     pub fn for_size(n: usize) -> Result<Self, FftError> {
         if !n.is_power_of_two() {
-            return Err(FftError::InvalidSize { n, reason: "not a power of two" });
+            return Err(FftError::InvalidSize { n, reason: "not a power of two", factor: None });
         }
         let log2_n = n.trailing_zeros();
         let p_stages = log2_n.div_ceil(2);
@@ -69,6 +69,7 @@ impl Split {
                 n,
                 reason:
                     "smaller than 64: epoch-1 groups would not fill the 8-point butterfly module",
+                factor: None,
             });
         }
         Ok(split)

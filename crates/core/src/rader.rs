@@ -1,0 +1,367 @@
+//! Rader's prime-length FFT: an `N`-point DFT at prime `N` as one
+//! `(N-1)`-point cyclic convolution through the generator permutation
+//! of the multiplicative group mod `N`.
+//!
+//! For prime `p` the units mod `p` form a cyclic group: fixing a
+//! primitive root `g`, the substitution `k = g^{-q}`, `m = g^{r}` turns
+//! the non-zero part of the DFT sum into
+//!
+//! ```text
+//! X[g^{-q}] = x[0] + Σ_r x[g^r] · W_p^{g^{r-q}}  =  x[0] + (a ⊛ b)_q
+//! ```
+//!
+//! a cyclic convolution of `a_r = x[g^r]` with the fixed sequence
+//! `b_s = W_p^{g^{-s}}`, both of length `p - 1` (`X[0]` is the plain
+//! input sum). The convolution runs through the same engine family the
+//! registry ranks for size `p - 1`, chosen at plan time in the
+//! registry's own preference order: `split_radix` when `p - 1` is a
+//! power of two, the 5-smooth `mixed_radix` when it applies, and
+//! Bluestein's chirp-Z otherwise. That last arm is what makes the
+//! recursion safe for *every* prime: [`BluesteinPlan`] only ever
+//! recurses into power-of-two kernels, so the inner-transform chain is
+//! at most two levels deep — no registry re-entry at execute time, no
+//! unbounded recursion, no per-transform allocation.
+//!
+//! Plan-time state: the generator permutation and its inverse, the
+//! forward/inverse kernel spectra (`FFT_{p-1}` of `b`), the inner plan
+//! and two `(p-1)`-point scratch arenas, honouring the crate-wide
+//! zero-allocation `execute_into` contract.
+
+use crate::bluestein::{bluestein_into, BluesteinPlan};
+use crate::error::FftError;
+use crate::mixed::{factorize, mixed_radix_into, MixedRadixPlan};
+use crate::reference::Direction;
+use crate::splitradix::{split_radix_into, SplitRadixPlan};
+use afft_num::{twiddle, Complex, C64};
+
+/// Deterministic primality check by trial division — plan-time only,
+/// and fast for any size a transform plan could plausibly hold.
+pub fn is_prime(n: usize) -> bool {
+    if n < 2 {
+        return false;
+    }
+    if n.is_multiple_of(2) {
+        return n == 2;
+    }
+    let mut d = 3usize;
+    while d * d <= n {
+        if n.is_multiple_of(d) {
+            return false;
+        }
+        d += 2;
+    }
+    true
+}
+
+/// `base^exp mod modulus` with `u128` intermediates.
+fn pow_mod(base: usize, mut exp: usize, modulus: usize) -> usize {
+    let m = modulus as u128;
+    let mut acc: u128 = 1;
+    let mut b = base as u128 % m;
+    while exp > 0 {
+        if exp & 1 == 1 {
+            acc = acc * b % m;
+        }
+        b = b * b % m;
+        exp >>= 1;
+    }
+    acc as usize
+}
+
+/// The distinct prime factors of `n`, by trial division (plan time).
+fn prime_factors(mut n: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut d = 2usize;
+    while d * d <= n {
+        if n.is_multiple_of(d) {
+            out.push(d);
+            while n.is_multiple_of(d) {
+                n /= d;
+            }
+        }
+        d += if d == 2 { 1 } else { 2 };
+    }
+    if n > 1 {
+        out.push(n);
+    }
+    out
+}
+
+/// The smallest primitive root mod prime `p`: the generator whose
+/// powers enumerate every unit, i.e. whose order is exactly `p - 1`
+/// (checked via `g^{(p-1)/q} != 1` for every prime `q | p - 1`).
+fn primitive_root(p: usize) -> usize {
+    let m = p - 1;
+    let factors = prime_factors(m);
+    (2..p)
+        .find(|&g| factors.iter().all(|&q| pow_mod(g, m / q, p) != 1))
+        .expect("every prime has a primitive root")
+}
+
+/// The inner `(p-1)`-point transform: the registry's engine family in
+/// its own preference order, resolved once at plan time.
+#[derive(Debug, Clone)]
+enum Inner {
+    SplitRadix(SplitRadixPlan),
+    MixedRadix(MixedRadixPlan),
+    Bluestein(BluesteinPlan),
+}
+
+impl Inner {
+    fn plan(m: usize) -> Result<Self, FftError> {
+        if m.is_power_of_two() {
+            Ok(Inner::SplitRadix(SplitRadixPlan::new(m)?))
+        } else if factorize(m).is_some() {
+            Ok(Inner::MixedRadix(MixedRadixPlan::new(m)?))
+        } else {
+            Ok(Inner::Bluestein(BluesteinPlan::new(m)?))
+        }
+    }
+
+    fn execute(
+        &mut self,
+        input: &[C64],
+        output: &mut [C64],
+        dir: Direction,
+    ) -> Result<(), FftError> {
+        match self {
+            Inner::SplitRadix(plan) => split_radix_into(plan, input, output, dir),
+            Inner::MixedRadix(plan) => mixed_radix_into(plan, input, output, dir),
+            Inner::Bluestein(plan) => bluestein_into(plan, input, output, dir),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            Inner::SplitRadix(_) => "split_radix",
+            Inner::MixedRadix(_) => "mixed_radix",
+            Inner::Bluestein(_) => "bluestein",
+        }
+    }
+}
+
+/// Plan-time state of the Rader kernel.
+#[derive(Debug, Clone)]
+pub struct RaderPlan {
+    p: usize,
+    /// `g_pow[q] = g^q mod p` — the input gather order.
+    g_pow: Vec<usize>,
+    /// `g_inv_pow[q] = g^{-q} mod p` — the output scatter order.
+    g_inv_pow: Vec<usize>,
+    /// `FFT_{p-1}` of `b_s = W_p^{g^{-s}}`, per direction.
+    kernel_fwd: Vec<C64>,
+    kernel_inv: Vec<C64>,
+    inner: Inner,
+    buf_a: Vec<C64>,
+    buf_b: Vec<C64>,
+}
+
+impl RaderPlan {
+    /// Plans a Rader FFT of prime size `p >= 3`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FftError::InvalidSize`] unless `p` is an odd prime
+    /// (the even prime 2 has a trivial unit group and is served by
+    /// every power-of-two kernel already).
+    pub fn new(p: usize) -> Result<Self, FftError> {
+        if p < 3 || !is_prime(p) {
+            return Err(FftError::InvalidSize {
+                n: p,
+                reason: "Rader needs an odd prime size",
+                factor: None,
+            });
+        }
+        let m = p - 1;
+        let g = primitive_root(p);
+        let g_inv = pow_mod(g, m - 1, p); // g^{p-2} = g^{-1} mod p
+        let mut g_pow = Vec::with_capacity(m);
+        let mut g_inv_pow = Vec::with_capacity(m);
+        let (mut fwd, mut inv) = (1usize, 1usize);
+        for _ in 0..m {
+            g_pow.push(fwd);
+            g_inv_pow.push(inv);
+            fwd = fwd * g % p;
+            inv = inv * g_inv % p;
+        }
+
+        let mut inner = Inner::plan(m)?;
+        let mut buf_a = vec![Complex::zero(); m];
+        let buf_b = vec![Complex::zero(); m];
+        let mut kernel_fwd = vec![Complex::zero(); m];
+        let mut kernel_inv = vec![Complex::zero(); m];
+        for (slot, &e) in buf_a.iter_mut().zip(&g_inv_pow) {
+            *slot = twiddle(p, e);
+        }
+        inner.execute(&buf_a, &mut kernel_fwd, Direction::Forward)?;
+        // Inverse DFT: same convolution with the conjugated twiddles.
+        for slot in buf_a.iter_mut() {
+            *slot = slot.conj();
+        }
+        inner.execute(&buf_a, &mut kernel_inv, Direction::Forward)?;
+        Ok(RaderPlan { p, g_pow, g_inv_pow, kernel_fwd, kernel_inv, inner, buf_a, buf_b })
+    }
+
+    /// The planned transform size.
+    pub fn len(&self) -> usize {
+        self.p
+    }
+
+    /// Never true for a plan (`p >= 3`).
+    pub fn is_empty(&self) -> bool {
+        self.p == 0
+    }
+
+    /// The engine family serving the `(p-1)`-point inner convolution —
+    /// the registry's preference order applied to `p - 1`.
+    pub fn inner_engine(&self) -> &'static str {
+        self.inner.name()
+    }
+}
+
+/// Executes the planned Rader FFT into `output` (natural bin order,
+/// unnormalised-DFT contract, no heap allocation).
+///
+/// # Errors
+///
+/// Returns [`FftError::LengthMismatch`] if either buffer is not
+/// `plan.len()` points.
+pub fn rader_into(
+    plan: &mut RaderPlan,
+    input: &[C64],
+    output: &mut [C64],
+    dir: Direction,
+) -> Result<(), FftError> {
+    let p = plan.p;
+    if input.len() != p {
+        return Err(FftError::LengthMismatch { expected: p, got: input.len() });
+    }
+    if output.len() != p {
+        return Err(FftError::LengthMismatch { expected: p, got: output.len() });
+    }
+    let m = p - 1;
+    let kernel = match dir {
+        Direction::Forward => &plan.kernel_fwd,
+        Direction::Inverse => &plan.kernel_inv,
+    };
+
+    // Gather the non-zero input points in generator order.
+    for (slot, &idx) in plan.buf_a.iter_mut().zip(&plan.g_pow) {
+        *slot = input[idx];
+    }
+
+    // (a ⊛ b) by the convolution theorem over the inner engine; the
+    // inner inverse is unnormalised, folded by 1/m at the scatter.
+    plan.inner.execute(&plan.buf_a, &mut plan.buf_b, Direction::Forward)?;
+    for (slot, &k) in plan.buf_b.iter_mut().zip(kernel) {
+        *slot = *slot * k;
+    }
+    plan.inner.execute(&plan.buf_b, &mut plan.buf_a, Direction::Inverse)?;
+
+    // X[0] is the plain sum; every other bin scatters through g^{-q}.
+    let x0 = input[0];
+    let mut sum = Complex::zero();
+    for &x in input {
+        sum = sum + x;
+    }
+    output[0] = sum;
+    let scale = 1.0 / m as f64;
+    for (q, &idx) in plan.g_inv_pow.iter().enumerate() {
+        output[idx] = x0 + plan.buf_a[q] * scale;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::{dft_naive, max_error};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_signal(n: usize, seed: u64) -> Vec<C64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0))).collect()
+    }
+
+    #[test]
+    fn primality_and_primitive_roots() {
+        assert!(is_prime(2) && is_prime(3) && is_prime(97) && is_prime(1009));
+        assert!(!is_prime(0) && !is_prime(1) && !is_prime(91) && !is_prime(1001));
+        // Known smallest primitive roots.
+        for (p, g) in [(3usize, 2usize), (5, 2), (7, 3), (17, 3), (97, 5), (251, 6)] {
+            assert_eq!(primitive_root(p), g, "p={p}");
+        }
+    }
+
+    #[test]
+    fn generator_permutation_covers_every_nonzero_residue() {
+        for p in [7usize, 17, 97, 251] {
+            let plan = RaderPlan::new(p).unwrap();
+            let mut seen = vec![false; p];
+            for &v in &plan.g_pow {
+                assert!(v >= 1 && v < p && !seen[v]);
+                seen[v] = true;
+            }
+            // And the inverse order really is the inverse permutation.
+            for (q, &v) in plan.g_inv_pow.iter().enumerate() {
+                assert_eq!(v * plan.g_pow[q] % p, 1, "p={p} q={q}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_naive_for_every_inner_engine_arm() {
+        // p - 1 routes each arm: 17 -> 16 (split_radix), 7 -> 6 and
+        // 251 -> 250 (mixed_radix), 1009 -> 1008 = 2^4·3^2·7
+        // (bluestein). 3 and 5 are the degenerate tiny primes.
+        for (p, inner) in [
+            (3usize, "split_radix"),
+            (5, "split_radix"),
+            (7, "mixed_radix"),
+            (17, "split_radix"),
+            (97, "mixed_radix"),
+            (251, "mixed_radix"),
+            (1009, "bluestein"),
+        ] {
+            let mut plan = RaderPlan::new(p).unwrap();
+            assert_eq!(plan.inner_engine(), inner, "p={p}");
+            let x = random_signal(p, p as u64);
+            let mut got = vec![Complex::zero(); p];
+            for dir in [Direction::Forward, Direction::Inverse] {
+                let want = dft_naive(&x, dir).unwrap();
+                let peak = want.iter().map(|c| c.abs()).fold(0.0, f64::max);
+                rader_into(&mut plan, &x, &mut got, dir).unwrap();
+                let err = max_error(&got, &want) / peak;
+                assert!(err < 1e-10, "p={p} {dir:?}: {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn round_trips_within_tolerance() {
+        let p = 251;
+        let x = random_signal(p, 9);
+        let mut plan = RaderPlan::new(p).unwrap();
+        let mut spec = vec![Complex::zero(); p];
+        let mut back = vec![Complex::zero(); p];
+        rader_into(&mut plan, &x, &mut spec, Direction::Forward).unwrap();
+        rader_into(&mut plan, &spec, &mut back, Direction::Inverse).unwrap();
+        let scaled: Vec<C64> = back.iter().map(|&v| v * (1.0 / p as f64)).collect();
+        assert!(max_error(&scaled, &x) < 1e-10);
+    }
+
+    #[test]
+    fn rejects_composites_the_even_prime_and_mismatched_buffers() {
+        for n in [0usize, 1, 2, 4, 9, 91, 1344] {
+            assert!(matches!(RaderPlan::new(n), Err(FftError::InvalidSize { .. })), "{n}");
+        }
+        let mut plan = RaderPlan::new(7).unwrap();
+        let x = random_signal(7, 3);
+        let mut short = vec![Complex::zero(); 6];
+        assert!(matches!(
+            rader_into(&mut plan, &x, &mut short, Direction::Forward),
+            Err(FftError::LengthMismatch { expected: 7, got: 6 })
+        ));
+    }
+}

@@ -42,7 +42,7 @@ impl Radix4Plan {
     /// Returns [`FftError::InvalidSize`] otherwise.
     pub fn new(n: usize) -> Result<Self, FftError> {
         if !is_power_of_four(n) {
-            return Err(FftError::InvalidSize { n, reason: "not a power of four" });
+            return Err(FftError::InvalidSize { n, reason: "not a power of four", factor: None });
         }
         let digits = n.trailing_zeros() / 2;
         let rev = (0..n).map(|i| digit_reverse_base4(i, digits)).collect();

@@ -47,7 +47,11 @@ impl RealFft {
     /// array-FFT size (power of two `>= 64`).
     pub fn new(len: usize) -> Result<Self, FftError> {
         if !len.is_multiple_of(2) {
-            return Err(FftError::InvalidSize { n: len, reason: "real FFT length must be even" });
+            return Err(FftError::InvalidSize {
+                n: len,
+                reason: "real FFT length must be even",
+                factor: None,
+            });
         }
         Ok(RealFft {
             inner: ArrayFft::new(len / 2)?,

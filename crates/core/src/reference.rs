@@ -72,7 +72,7 @@ pub fn dft_naive(input: &[C64], dir: Direction) -> Result<Vec<C64>, FftError> {
 pub fn dft_naive_into(input: &[C64], output: &mut [C64], dir: Direction) -> Result<(), FftError> {
     let n = input.len();
     if n == 0 {
-        return Err(FftError::InvalidSize { n, reason: "empty input" });
+        return Err(FftError::InvalidSize { n, reason: "empty input", factor: None });
     }
     if output.len() != n {
         return Err(FftError::LengthMismatch { expected: n, got: output.len() });
@@ -223,10 +223,10 @@ pub fn fft_radix2_dit<T: Scalar>(
 
 pub(crate) fn check_pow2(n: usize) -> Result<(), FftError> {
     if !n.is_power_of_two() {
-        return Err(FftError::InvalidSize { n, reason: "not a power of two" });
+        return Err(FftError::InvalidSize { n, reason: "not a power of two", factor: None });
     }
     if n < 2 {
-        return Err(FftError::InvalidSize { n, reason: "must be at least 2" });
+        return Err(FftError::InvalidSize { n, reason: "must be at least 2", factor: None });
     }
     Ok(())
 }

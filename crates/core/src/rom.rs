@@ -175,7 +175,11 @@ impl<T: Scalar> PrerotTable<T> {
     pub fn new(n: usize) -> Result<Self, FftError> {
         crate::reference::check_pow2(n)?;
         if n < 8 {
-            return Err(FftError::InvalidSize { n, reason: "pre-rotation table needs N >= 8" });
+            return Err(FftError::InvalidSize {
+                n,
+                reason: "pre-rotation table needs N >= 8",
+                factor: None,
+            });
         }
         let entries = (0..=n / 8).map(|k| Complex::from_c64(twiddle(n, k))).collect();
         Ok(PrerotTable { n, entries })

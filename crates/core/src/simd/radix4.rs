@@ -60,7 +60,11 @@ impl Radix4SimdEngine {
     /// `>= 16`.
     pub fn with_level(n: usize, level: SimdLevel) -> Result<Self, FftError> {
         if !is_power_of_four(n) || n < 16 {
-            return Err(FftError::InvalidSize { n, reason: "not a power of four >= 16" });
+            return Err(FftError::InvalidSize {
+                n,
+                reason: "not a power of four >= 16",
+                factor: None,
+            });
         }
         let digits = n.trailing_zeros() / 2;
         let rev = (0..n).map(|i| digit_reverse_base4(i, digits)).collect();

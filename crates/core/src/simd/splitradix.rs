@@ -65,7 +65,11 @@ impl SplitRadixSimdEngine {
     pub fn with_level(n: usize, level: SimdLevel) -> Result<Self, FftError> {
         check_pow2(n)?;
         if n < 16 {
-            return Err(FftError::InvalidSize { n, reason: "below the SIMD tier's minimum (16)" });
+            return Err(FftError::InvalidSize {
+                n,
+                reason: "below the SIMD tier's minimum (16)",
+                factor: None,
+            });
         }
         let log2n = n.trailing_zeros() as usize;
         let levels = (0..=log2n)

@@ -417,6 +417,40 @@ fn mixed_radix_stage_cost(n: usize) -> f64 {
     }
 }
 
+/// Total op count of one Bluestein chirp-Z transform of size `n`: two
+/// `m`-point split-radix runs (the kernel spectrum is plan-time) around
+/// the pointwise multiply, plus the O(n) chirp passes, with
+/// `m = next_pow2(2n - 1)`. This is 4–8x the cost of a direct kernel
+/// at the same size — the model must price that honestly so
+/// `mixed_radix` keeps winning every 5-smooth size and `bluestein`
+/// only ranks first where nothing structured exists.
+fn bluestein_ops(n: usize) -> f64 {
+    let m = (2 * n - 1).next_power_of_two();
+    let mf = m as f64;
+    let log2m = m.trailing_zeros() as f64;
+    2.0 * 0.67 * mf * log2m + mf + 2.0 * n as f64
+}
+
+/// Total op count of one Rader prime-length transform: two
+/// `(p-1)`-point inner passes priced by whichever family serves that
+/// length (split-radix on powers of two, mixed-radix on 5-smooth,
+/// Bluestein otherwise — mirroring the engine's own inner dispatch),
+/// plus the generator permutations and the pointwise kernel multiply.
+/// When `p - 1` is smooth this beats Bluestein's `>= 2p - 1` padded
+/// convolution, which is exactly why both engines register at primes.
+fn rader_ops(p: usize) -> f64 {
+    let m = p - 1;
+    let mf = m as f64;
+    let inner = if m.is_power_of_two() {
+        0.67 * mf * m.trailing_zeros() as f64
+    } else if afft_core::mixed::factorize(m).is_some() {
+        mf * mixed_radix_stage_cost(m)
+    } else {
+        bluestein_ops(m)
+    };
+    2.0 * inner + 4.0 * mf + p as f64
+}
+
 /// Rough per-point-operation cost of the f64 software backends, ns.
 const HOST_OP_NS: f64 = 2.0;
 /// Rough cost of moving one complex point through main memory, ns.
@@ -455,6 +489,11 @@ fn estimate_rank(engine: &dyn FftEngine) -> EngineRank {
             // General mixed radix: per-point cost of one stage grows
             // with its radix (hardcoded {2,3,4,5} butterflies).
             "mixed_radix" => nf * mixed_radix_stage_cost(n),
+            // The convolution engines close the size domain; their
+            // models price the padded/inner transforms they actually
+            // run, so they only win where no structured kernel exists.
+            "bluestein" => bluestein_ops(n),
+            "rader" => rader_ops(n),
             "array_fft" => 1.15 * nf * log2n, // group bookkeeping
             "cached_fft" => 1.2 * nf * log2n,
             "mcfft" => 1.25 * nf * log2n, // per-epoch twiddle passes
@@ -553,8 +592,31 @@ mod tests {
         assert!(measured.ranking.iter().all(|r| r.wall_ns.is_some()));
         let engine = planner.engine(&measured).unwrap();
         assert_eq!(engine.len(), 60);
-        // Unsupported sizes surface the registry's explicit error.
-        assert!(planner.plan(1022, Strategy::Estimate).is_err());
+        // Rough composites (1022 = 2·7·73) plan through the chirp-Z
+        // fallback now — no size beyond {0, 1} errors out.
+        let rough = planner.plan(1022, Strategy::Estimate).unwrap();
+        assert_eq!(rough.best().name, "bluestein");
+        assert!(planner.plan(0, Strategy::Estimate).is_err());
+        assert!(planner.plan(1, Strategy::Estimate).is_err());
+    }
+
+    #[test]
+    fn prime_sizes_rank_the_convolution_engines_honestly() {
+        let mut planner = Planner::new();
+        // At 97 the 96-point (2^5·3, smooth) inner convolution makes
+        // Rader cheaper than Bluestein's 256-point padded convolution.
+        let plan = planner.plan(97, Strategy::Estimate).unwrap();
+        assert_eq!(plan.best().name, "rader");
+        assert_eq!(plan.ranking.last().unwrap().name, "dft_naive");
+        // At 1009 the inner length 1008 = 2^4·3^2·7 is itself rough,
+        // so Rader recurses into Bluestein and pays twice the chirp-Z
+        // cost — the model must rank plain Bluestein first there.
+        let plan = planner.plan(1009, Strategy::Estimate).unwrap();
+        assert_eq!(plan.best().name, "bluestein");
+        // Tiny primes: the direct radix-3 butterfly is genuinely
+        // cheapest — the convolution engines must not outrank it.
+        let plan = planner.plan(3, Strategy::Estimate).unwrap();
+        assert_eq!(plan.best().name, "mixed_radix");
     }
 
     #[test]

@@ -14,9 +14,12 @@ use afft::core::{ArrayFft, Split};
 use afft::num::{twiddle, Complex, C64, Q15};
 use proptest::prelude::*;
 
-/// The size grid the engine-family law tests sample: powers of two
-/// alongside the composite 5-smooth sizes the mixed-radix engine adds.
-const ENGINE_LAW_SIZES: [usize; 8] = [8, 12, 16, 20, 30, 60, 64, 120];
+/// The size grid the engine-family law tests sample: powers of two,
+/// the composite 5-smooth sizes the mixed-radix engine adds, odd
+/// primes (rader + bluestein) and the rough composites (14 = 2·7,
+/// 77 = 7·11) only the chirp-Z fallback serves — the DFT laws must
+/// hold for every registered engine at arbitrary `n`.
+const ENGINE_LAW_SIZES: [usize; 14] = [7, 8, 12, 14, 16, 17, 20, 30, 31, 60, 64, 77, 97, 120];
 
 /// Deterministic random signal for the engine-law tests.
 fn law_signal(n: usize, seed: u64) -> Vec<C64> {
@@ -269,6 +272,14 @@ proptest! {
     }
 
     #[test]
+    fn supports_matches_planability_on_random_sizes(n in 0usize..4096) {
+        // The registry's support claim and its constructor must agree
+        // at any size a property draw can produce — including far
+        // beyond the exhaustive sweep below.
+        prop_assert_eq!(EngineRegistry::supports(n), EngineRegistry::standard(n).is_ok());
+    }
+
+    #[test]
     fn time_shift_multiplies_spectrum_by_twiddle(shift in 1usize..63, seed in 0u64..20) {
         let n = 64usize;
         use rand::{Rng, SeedableRng};
@@ -285,5 +296,26 @@ proptest! {
             let want = fx[k] * twiddle(n, (k * shift) % n).conj();
             prop_assert!(fs[k].dist(want) < 1e-8, "k={k}");
         }
+    }
+}
+
+/// The any-N guarantee, exhaustively: `supports(n)` is true and the
+/// standard registry builds for **every** `n` in `2..=2048` — no prime,
+/// no rough composite, no adversarial factorisation falls through. The
+/// degenerate sizes 0 and 1 are the only rejections.
+#[test]
+fn every_size_up_to_2048_is_supported_and_plans() {
+    assert!(!EngineRegistry::supports(0));
+    assert!(!EngineRegistry::supports(1));
+    assert!(EngineRegistry::standard(0).is_err());
+    assert!(EngineRegistry::standard(1).is_err());
+    for n in 2..=2048usize {
+        assert!(EngineRegistry::supports(n), "supports({n}) must hold");
+        let registry =
+            EngineRegistry::standard(n).unwrap_or_else(|e| panic!("standard({n}) must plan: {e}"));
+        // Every registry carries the naive reference and the universal
+        // chirp-Z fallback; nothing is ever near-empty.
+        assert!(registry.get("dft_naive").is_some(), "n={n}");
+        assert!(registry.get("bluestein").is_some(), "n={n}");
     }
 }
