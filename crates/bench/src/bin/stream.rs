@@ -55,7 +55,7 @@ use afft_num::{Complex, C64};
 use afft_obs::json;
 use afft_planner::{Plan, Planner, Strategy};
 use afft_stream::{ChannelSpec, StreamPipeline, StreamStats};
-use std::time::{Instant, SystemTime, UNIX_EPOCH};
+use std::time::Instant;
 
 const N: usize = 256;
 /// Cap on the pool size either arm asks for — enough to show the
@@ -264,13 +264,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     // `--stamp <secs>` pins the artifact's timestamp (reproducible CI
-    // artifacts); otherwise the system clock stamps the run.
-    let stamp = args
-        .iter()
-        .position(|a| a == "--stamp")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse::<u64>().ok())
-        .unwrap_or_else(|| SystemTime::now().duration_since(UNIX_EPOCH).map_or(0, |d| d.as_secs()));
+    // artifacts); otherwise the system clock stamps the run. A
+    // malformed pin is a hard error, never a silent clock fallback.
+    let stamp = afft_bench::parse_stamp(&args).map_err(std::io::Error::other)?;
     let symbols: usize = if smoke { 256 } else { 4096 };
     let reps = if smoke { 1 } else { 5 };
 

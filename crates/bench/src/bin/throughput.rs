@@ -49,7 +49,7 @@ use afft_core::reference::{bit_reverse_permute, fft_radix2_dif_f64, fft_radix2_d
 use afft_core::{simd, ArrayFft, Direction};
 use afft_num::Complex;
 use std::hint::black_box;
-use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+use std::time::{Duration, Instant};
 
 /// Calls `f` repeatedly for roughly `budget`, returning calls/sec.
 fn tps(budget: Duration, mut f: impl FnMut()) -> f64 {
@@ -105,13 +105,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     // `--stamp <secs>` pins the artifact's timestamp (reproducible CI
-    // artifacts); otherwise the system clock stamps the run.
-    let stamp = args
-        .iter()
-        .position(|a| a == "--stamp")
-        .and_then(|i| args.get(i + 1))
-        .and_then(|s| s.parse::<u64>().ok())
-        .unwrap_or_else(|| SystemTime::now().duration_since(UNIX_EPOCH).map_or(0, |d| d.as_secs()));
+    // artifacts); otherwise the system clock stamps the run. A
+    // malformed pin is a hard error, never a silent clock fallback.
+    let stamp = afft_bench::parse_stamp(&args).map_err(std::io::Error::other)?;
     let sizes: &[usize] =
         if smoke { &[64, 97, 256, 1200] } else { &[64, 97, 128, 256, 512, 1024, 1536] };
     let budget = Duration::from_millis(if smoke { 5 } else { 150 });

@@ -21,6 +21,33 @@ pub use afft_obs::json;
 pub mod paper;
 pub mod workload;
 
+/// Resolves the artifact timestamp for a bench bin's `--stamp <secs>`
+/// flag: the pinned value when given (reproducible CI artifacts), the
+/// system clock when the flag is absent.
+///
+/// A `--stamp` with a missing or unparseable value is a **hard error**,
+/// never a silent clock fallback — a CI invocation that misspells its
+/// pin must fail loudly, not emit a nondeterministically-stamped
+/// artifact that happens to pass the schema check.
+///
+/// # Errors
+///
+/// A human-readable message naming the bad value (or its absence) for
+/// the bin to print before exiting nonzero.
+pub fn parse_stamp(args: &[String]) -> Result<u64, String> {
+    let Some(at) = args.iter().position(|a| a == "--stamp") else {
+        return Ok(std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(0, |d| d.as_secs()));
+    };
+    match args.get(at + 1) {
+        None => Err("--stamp requires a value (unix seconds)".to_string()),
+        Some(v) => v
+            .parse::<u64>()
+            .map_err(|_| format!("--stamp value {v:?} is not a unix-seconds integer")),
+    }
+}
+
 /// Formats a ratio as the paper's "X-factor" improvement strings.
 pub fn factor(ours: f64, other: f64) -> String {
     if ours <= 0.0 {
@@ -52,5 +79,23 @@ mod tests {
     fn row_alignment() {
         let r = row(&["a".into(), "bb".into()], &[3, 4]);
         assert_eq!(r, "  a    bb");
+    }
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_stamp_pins_reads_clock_and_rejects_garbage() {
+        // Pinned value wins verbatim.
+        assert_eq!(parse_stamp(&argv(&["bin", "--stamp", "1234"])), Ok(1234));
+        // No flag: the system clock (post-2020, sane).
+        assert!(parse_stamp(&argv(&["bin", "--smoke"])).unwrap() > 1_577_836_800);
+        // Malformed or missing values are hard errors, not clock
+        // fallbacks — the regression this helper exists to prevent.
+        assert!(parse_stamp(&argv(&["bin", "--stamp"])).is_err());
+        assert!(parse_stamp(&argv(&["bin", "--stamp", "yesterday"])).is_err());
+        assert!(parse_stamp(&argv(&["bin", "--stamp", "-5"])).is_err());
+        assert!(parse_stamp(&argv(&["bin", "--stamp", "12.5"])).is_err());
     }
 }

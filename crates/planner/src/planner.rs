@@ -481,11 +481,18 @@ fn estimate_rank(engine: &dyn FftEngine) -> EngineRank {
             // the complex multiplies over radix-2.
             "split_radix" => 0.67 * nf * log2n,
             "radix4_dit" => 0.75 * nf * log2n,
-            // The SIMD tier runs the same op counts as its scalar
-            // siblings — the win is issue width, modeled by the
+            // The iterative SIMD engine runs the same op count as its
+            // scalar sibling — the win is issue width, modeled by the
             // throughput class below, not a smaller op count.
-            "split_radix_simd" => 0.67 * nf * log2n,
             "radix4_simd" => 0.75 * nf * log2n,
+            // The recursive SIMD split-radix *measures slower* than its
+            // scalar sibling (ROADMAP item 1 follow-up): per-level call
+            // and split-plane re-layout overhead dominates the vector
+            // combines, so it earns no issue-width discount (excluded
+            // below) and pays an O(N) recursion-overhead term on top of
+            // the scalar op count. Until the iterative restructure
+            // lands, Estimate must price the engine as the loser it is.
+            "split_radix_simd" => 0.67 * nf * log2n + 2.0 * nf,
             // General mixed radix: per-point cost of one stage grows
             // with its radix (hardcoded {2,3,4,5} butterflies).
             "mixed_radix" => nf * mixed_radix_stage_cost(n),
@@ -507,8 +514,12 @@ fn estimate_rank(engine: &dyn FftEngine) -> EngineRank {
         // operations per issue; the 0.75 derate covers the layout
         // passes and narrow recursion levels the wide path can't cover.
         // Memory traffic is not divided — the vector unit does not
-        // widen the memory bus.
-        let issue_width = if engine.name().ends_with("_simd") {
+        // widen the memory bus. `split_radix_simd` is carved out: its
+        // recursive walker never sustains wide issue (see its op model
+        // above), and granting it the discount made Estimate pick a
+        // known loser over scalar `split_radix`.
+        let issue_width = if engine.name().ends_with("_simd") && engine.name() != "split_radix_simd"
+        {
             (afft_core::simd::active_level().lanes() as f64 * 0.75).max(1.0)
         } else {
             1.0
@@ -557,10 +568,38 @@ mod tests {
                 .position(|r| r.name == name)
                 .unwrap_or_else(|| panic!("{name} missing from estimate ranking"))
         };
-        // Same op model, wider issue: each SIMD engine must outrank its
-        // scalar sibling under Estimate.
+        // Same op model, wider issue: the iterative SIMD engine must
+        // outrank its scalar sibling under Estimate.
         assert!(pos("radix4_simd") < pos("radix4_dit"));
-        assert!(pos("split_radix_simd") < pos("split_radix"));
+    }
+
+    #[test]
+    fn estimate_ranks_split_radix_simd_behind_its_scalar_sibling() {
+        if !afft_core::simd::active_level().is_simd() {
+            return;
+        }
+        // `split_radix_simd` measures *slower* than scalar
+        // `split_radix` (recursion overhead dominates the vector
+        // combines — ROADMAP item 1); the op model must never let
+        // Estimate pick the known loser. Pin the ordering across the
+        // practical power-of-two range.
+        let mut planner = Planner::new();
+        for n in [64usize, 256, 1024, 4096] {
+            let plan = planner.plan(n, Strategy::Estimate).unwrap();
+            let pos = |name: &str| {
+                plan.ranking
+                    .iter()
+                    .position(|r| r.name == name)
+                    .unwrap_or_else(|| panic!("{name} missing from estimate ranking at n={n}"))
+            };
+            assert!(
+                pos("split_radix") < pos("split_radix_simd"),
+                "Estimate re-promoted the losing split_radix_simd at n={n}"
+            );
+            // The carve-out must not leak onto the SIMD engine that
+            // genuinely wins.
+            assert!(pos("radix4_simd") < pos("radix4_dit"), "radix4_simd demoted at n={n}");
+        }
     }
 
     #[test]

@@ -25,7 +25,12 @@
 //! * [`StreamPipeline::submit`] blocks until queue space frees up;
 //! * completions are delivered **strictly in per-channel submission
 //!   order** ([`StreamPipeline::recv`] / [`StreamPipeline::try_recv`]),
-//!   regardless of which worker finished first;
+//!   regardless of which worker finished first — with
+//!   [`StreamPipeline::recv_timeout`] bounding the wait and the checked
+//!   forms ([`StreamPipeline::recv_checked`] /
+//!   [`StreamPipeline::submit_checked`]) reporting a poisoned pipeline
+//!   as [`RecvError::Poisoned`] / [`SubmitError::Poisoned`] instead of
+//!   panicking;
 //! * [`StreamPipeline::shutdown`] drains every in-flight symbol before
 //!   joining the pool, returning the final [`StreamStats`] and any
 //!   undelivered completions — accepted work is never lost.
@@ -79,7 +84,7 @@ pub mod stats;
 mod worker;
 
 pub use pipeline::{
-    ChannelId, ChannelOp, ChannelSpec, Completion, StreamBuilder, StreamPipeline, SubmitError,
-    DEFAULT_SAMPLE_EVERY,
+    ChannelId, ChannelOp, ChannelSpec, Completion, RecvError, StreamBuilder, StreamPipeline,
+    SubmitError, DEFAULT_SAMPLE_EVERY,
 };
 pub use stats::{ChannelObs, ChannelStats, StreamObs, StreamStats};

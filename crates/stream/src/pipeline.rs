@@ -35,7 +35,7 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use afft_core::{Direction, FftError};
 use afft_num::C64;
@@ -208,6 +208,17 @@ pub enum SubmitError {
         /// The refused output buffer, returned to the caller.
         output: Vec<C64>,
     },
+    /// A worker panicked and poisoned the pipeline; it will never accept
+    /// or finish work again. Only the checked forms
+    /// ([`StreamPipeline::try_submit`] /
+    /// [`StreamPipeline::submit_checked`]) return this — the panicking
+    /// [`StreamPipeline::submit`] wrapper re-raises it as a panic.
+    Poisoned {
+        /// The refused input buffer, returned to the caller.
+        input: Vec<C64>,
+        /// The refused output buffer, returned to the caller.
+        output: Vec<C64>,
+    },
 }
 
 impl SubmitError {
@@ -216,7 +227,8 @@ impl SubmitError {
         match self {
             SubmitError::QueueFull { input, output }
             | SubmitError::Closed { input, output }
-            | SubmitError::Shape { input, output, .. } => (input, output),
+            | SubmitError::Shape { input, output, .. }
+            | SubmitError::Poisoned { input, output } => (input, output),
         }
     }
 }
@@ -227,11 +239,44 @@ impl core::fmt::Display for SubmitError {
             SubmitError::QueueFull { .. } => write!(f, "submission queue is full"),
             SubmitError::Closed { .. } => write!(f, "pipeline is closed to new submissions"),
             SubmitError::Shape { error, .. } => write!(f, "payload rejected: {error}"),
+            SubmitError::Poisoned { .. } => {
+                write!(f, "a stream worker panicked; the pipeline is poisoned")
+            }
         }
     }
 }
 
 impl std::error::Error for SubmitError {}
+
+/// Why a checked receive ([`StreamPipeline::recv_checked`] /
+/// [`StreamPipeline::recv_timeout`]) returned without a verdict on the
+/// channel's traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvError {
+    /// The [`recv_timeout`](StreamPipeline::recv_timeout) deadline
+    /// elapsed with the channel still owing a completion. The symbol is
+    /// not lost — it stays queued/in flight and a later receive can
+    /// still collect it.
+    Timeout,
+    /// A worker panicked and poisoned the pipeline. Symbols the worker
+    /// had claimed are lost; waiting for them would hang forever.
+    /// Completions that were already parked are still delivered before
+    /// this is returned.
+    Poisoned,
+}
+
+impl core::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RecvError::Timeout => write!(f, "timed out waiting for a completion"),
+            RecvError::Poisoned => {
+                write!(f, "a stream worker panicked; the pipeline is poisoned")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecvError {}
 
 /// Configures and spawns a [`StreamPipeline`]. Obtained from
 /// [`StreamPipeline::builder`].
@@ -494,8 +539,9 @@ impl StreamPipeline {
     ///
     /// # Errors
     ///
-    /// [`SubmitError::QueueFull`], [`SubmitError::Closed`], or
-    /// [`SubmitError::Shape`] — all returning the payload buffers.
+    /// [`SubmitError::QueueFull`], [`SubmitError::Closed`],
+    /// [`SubmitError::Shape`], or [`SubmitError::Poisoned`] — all
+    /// returning the payload buffers.
     ///
     /// # Panics
     ///
@@ -509,6 +555,11 @@ impl StreamPipeline {
         if let Err(error) = self.validate(channel, &input, &output) {
             return Err(SubmitError::Shape { error, input, output });
         }
+        // Poisoning is checked before closed: a worker panic also closes
+        // the intake, and "the pipeline is dead" is the truer refusal.
+        if self.shared.worker_panicked.load(Ordering::SeqCst) {
+            return Err(SubmitError::Poisoned { input, output });
+        }
         if self.shared.closed.load(Ordering::SeqCst) {
             return Err(SubmitError::Closed { input, output });
         }
@@ -520,6 +571,8 @@ impl StreamPipeline {
     }
 
     /// Blocking submission: waits for budget space instead of refusing.
+    /// A thin wrapper over [`StreamPipeline::submit_checked`] kept for
+    /// callers that prefer a crash to handling a dead pipeline.
     ///
     /// # Errors
     ///
@@ -538,12 +591,42 @@ impl StreamPipeline {
         input: Vec<C64>,
         output: Vec<C64>,
     ) -> Result<u64, SubmitError> {
+        match self.submit_checked(channel, input, output) {
+            Err(SubmitError::Poisoned { .. }) => {
+                panic!("a stream worker panicked; the pipeline is dead")
+            }
+            other => other,
+        }
+    }
+
+    /// Blocking submission that reports a dead pipeline as an error
+    /// instead of panicking: waits for budget space, and returns
+    /// [`SubmitError::Poisoned`] (with the payload buffers) if a worker
+    /// panic poisons the pipeline before the symbol is accepted. The
+    /// form for callers — like a connection handler — that must degrade
+    /// gracefully rather than unwind.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Closed`], [`SubmitError::Shape`], or
+    /// [`SubmitError::Poisoned`] — all returning the payload buffers.
+    /// Never [`SubmitError::QueueFull`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` did not come from this pipeline's builder.
+    pub fn submit_checked(
+        &self,
+        channel: ChannelId,
+        input: Vec<C64>,
+        output: Vec<C64>,
+    ) -> Result<u64, SubmitError> {
         if let Err(error) = self.validate(channel, &input, &output) {
             return Err(SubmitError::Shape { error, input, output });
         }
         loop {
             if self.shared.worker_panicked.load(Ordering::SeqCst) {
-                panic!("a stream worker panicked; the pipeline is dead");
+                return Err(SubmitError::Poisoned { input, output });
             }
             if self.shared.closed.load(Ordering::SeqCst) {
                 return Err(SubmitError::Closed { input, output });
@@ -663,6 +746,8 @@ impl StreamPipeline {
     /// completion. Returns `None` only when the channel has nothing
     /// outstanding (every accepted symbol already delivered) — so a
     /// drain loop is simply `while let Some(c) = pipeline.recv(ch)`.
+    /// A thin wrapper over [`StreamPipeline::recv_checked`] kept for
+    /// callers that prefer a crash to handling a dead pipeline.
     ///
     /// # Panics
     ///
@@ -672,7 +757,74 @@ impl StreamPipeline {
     /// Completions that were already parked are still delivered before
     /// the panic is raised.
     pub fn recv(&self, channel: ChannelId) -> Option<Completion> {
-        let idx = self.chan(channel);
+        match self.recv_checked(channel) {
+            Ok(got) => got,
+            Err(_) => panic!(
+                "a stream worker panicked; its claimed symbols are lost and the pipeline \
+                 is dead"
+            ),
+        }
+    }
+
+    /// Blocking delivery that reports a dead pipeline as an error
+    /// instead of panicking: `Ok(Some)` is the channel's next in-order
+    /// completion, `Ok(None)` means the channel is drained, and
+    /// [`RecvError::Poisoned`] means a worker panic killed the pipeline
+    /// (parked completions are still delivered first). Never returns
+    /// [`RecvError::Timeout`].
+    ///
+    /// # Errors
+    ///
+    /// [`RecvError::Poisoned`] once the channel's parked completions
+    /// are exhausted on a poisoned pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` did not come from this pipeline's builder.
+    pub fn recv_checked(&self, channel: ChannelId) -> Result<Option<Completion>, RecvError> {
+        self.recv_deadline(self.chan(channel), None)
+    }
+
+    /// Deadline-bounded delivery: like
+    /// [`recv_checked`](StreamPipeline::recv_checked), but waits at most
+    /// `timeout` for the channel's next in-order completion. Lets a
+    /// caller — a connection handler, say — time out a stalled channel
+    /// and shed its client instead of hanging forever.
+    ///
+    /// A timeout loses nothing: the outstanding symbol stays queued or
+    /// in flight, and a later receive can still collect it. A
+    /// completion that lands exactly at the deadline wins over the
+    /// timeout — one final delivery attempt runs after the wait expires.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvError::Timeout`] if the deadline passes with the channel
+    /// still owing a completion; [`RecvError::Poisoned`] as for
+    /// `recv_checked`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channel` did not come from this pipeline's builder.
+    pub fn recv_timeout(
+        &self,
+        channel: ChannelId,
+        timeout: Duration,
+    ) -> Result<Option<Completion>, RecvError> {
+        // A deadline too far to represent means "wait forever".
+        self.recv_deadline(self.chan(channel), Instant::now().checked_add(timeout))
+    }
+
+    /// The one receive loop behind `recv`/`recv_checked`/`recv_timeout`:
+    /// drain the outboxes, pop the channel's ring, and park on the done
+    /// gate (deadline-bounded when given) until something changes. After
+    /// the deadline expires the loop runs one last full delivery attempt
+    /// before conceding [`RecvError::Timeout`].
+    fn recv_deadline(
+        &self,
+        idx: usize,
+        deadline: Option<Instant>,
+    ) -> Result<Option<Completion>, RecvError> {
+        let mut expired = false;
         loop {
             let mut ds = self.shared.delivery.lock().expect("stream delivery poisoned");
             let drained = self.shared.drain_completions(&mut ds);
@@ -682,19 +834,19 @@ impl StreamPipeline {
                 self.shared.done.notify_if_waiting();
             }
             if let Some(done) = got {
-                return Some(done);
+                return Ok(Some(done));
             }
             if self.shared.worker_panicked.load(Ordering::SeqCst) {
-                panic!(
-                    "a stream worker panicked; its claimed symbols are lost and the pipeline \
-                     is dead"
-                );
+                return Err(RecvError::Poisoned);
             }
             let chan = &self.shared.chans[idx];
             // delivered is loaded first: it only trails next_seq, so
             // equality here means the channel was truly drained.
             if chan.delivered.load(Ordering::SeqCst) == chan.next_seq.load(Ordering::SeqCst) {
-                return None;
+                return Ok(None);
+            }
+            if expired {
+                return Err(RecvError::Timeout);
             }
             // Park on the done gate; the predicate re-check is
             // lock-free (outbox occupancy hints + the channel's
@@ -704,7 +856,17 @@ impl StreamPipeline {
             gate.waiting.fetch_add(1, Ordering::SeqCst);
             let mut g = gate.m.lock().expect("stream gate poisoned");
             while !self.recv_progress(idx) {
-                g = gate.cv.wait(g).expect("stream gate poisoned");
+                match deadline {
+                    None => g = gate.cv.wait(g).expect("stream gate poisoned"),
+                    Some(when) => {
+                        let now = Instant::now();
+                        if now >= when {
+                            expired = true;
+                            break;
+                        }
+                        g = gate.cv.wait_timeout(g, when - now).expect("stream gate poisoned").0;
+                    }
+                }
             }
             drop(g);
             gate.waiting.fetch_sub(1, Ordering::SeqCst);
@@ -763,6 +925,17 @@ impl StreamPipeline {
     /// Whether [`StreamPipeline::close`] (or shutdown) has been called.
     pub fn is_closed(&self) -> bool {
         self.shared.closed.load(Ordering::SeqCst)
+    }
+
+    /// Whether a worker panic has poisoned the pipeline. A poisoned
+    /// pipeline is also closed; the checked calls
+    /// ([`StreamPipeline::submit_checked`] /
+    /// [`StreamPipeline::recv_checked`] /
+    /// [`StreamPipeline::recv_timeout`]) report it as an error, the
+    /// legacy forms panic, and [`StreamPipeline::shutdown`] would panic
+    /// on join — a graceful owner checks here and drops instead.
+    pub fn is_poisoned(&self) -> bool {
+        self.shared.worker_panicked.load(Ordering::SeqCst)
     }
 
     /// A snapshot of the pipeline's counters. Cheap: the delivery lock

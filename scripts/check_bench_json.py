@@ -110,7 +110,60 @@ def check_throughput(path, doc):
         expect(path, rec, "into_tps", (int, float))
 
 
-CHECKS = {"stream": check_stream, "throughput": check_throughput}
+def check_net(path, doc):
+    for key in ("stamp_unix", "n", "cp", "frames", "reps", "workers", "window"):
+        expect(path, doc, key, (int, float))
+    expect(path, doc, "smoke", bool)
+    expect(path, doc, "arms", dict)
+    for arm in ("direct_tps", "tcp_tps"):
+        expect(path, doc["arms"], arm, (int, float))
+        if doc["arms"][arm] <= 0:
+            fail(path, f"arms.{arm} must be positive, got {doc['arms'][arm]}")
+    expect(path, doc, "tcp_vs_direct", (int, float))
+    # The load-shedding ledger: the one value judgment the checker
+    # makes, because a flood that never shed proves nothing.
+    expect(path, doc, "flood", dict)
+    flood = doc["flood"]
+    for key in ("frames", "accepted", "shed", "retry_after_ms"):
+        expect(path, flood, key, (int, float))
+    if flood["shed"] < 1:
+        fail(path, f"flood.shed must be >= 1, got {flood['shed']}")
+    if flood["accepted"] + flood["shed"] != flood["frames"]:
+        fail(
+            path,
+            f"flood ledger unbalanced: {flood['accepted']} accepted + "
+            f"{flood['shed']} shed != {flood['frames']} frames",
+        )
+    # The embedded admin document — the same JSON a live STATS frame
+    # returns. Server counters, then the full pipeline snapshot with
+    # per-channel histograms when observability was on.
+    expect(path, doc, "admin", dict)
+    admin = doc["admin"]
+    expect(path, admin, "server", str)
+    if admin["server"] != "afft_net":
+        fail(path, f"admin.server is {admin['server']!r}, wanted 'afft_net'")
+    for key in ("channels", "connections", "frames_in", "shed", "protocol_errors"):
+        expect(path, admin, key, (int, float))
+    expect(path, admin, "poisoned", bool)
+    expect(path, admin, "pipeline", dict)
+    pipe = admin["pipeline"]
+    for key in ("submitted", "completed", "delivered", "rejected", "queue_capacity"):
+        expect(path, pipe, key, (int, float))
+    expect(path, pipe, "scheduler", dict)
+    expect(path, pipe, "per_channel", list)
+    if not pipe["per_channel"]:
+        fail(path, "admin.pipeline.per_channel is empty")
+    for chan in pipe["per_channel"]:
+        for key in ("channel", "submitted", "completed", "delivered"):
+            expect(path, chan, key, (int, float))
+    for chan in pipe.get("channels", []):
+        for stage in ("latency", "queue_wait", "transform", "reorder_park"):
+            if stage not in chan:
+                fail(path, f"admin channel {chan.get('channel')}: missing stage {stage!r}")
+            check_histogram(path, f"admin channel {chan.get('channel')}.{stage}", chan[stage])
+
+
+CHECKS = {"stream": check_stream, "throughput": check_throughput, "net": check_net}
 
 
 def main(argv):

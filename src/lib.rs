@@ -24,6 +24,10 @@
 //!   a long-lived worker pool over planned engines with bounded
 //!   queues, backpressure, and strict per-channel in-order completion
 //!   delivery for continuous OFDM traffic;
+//! * [`net`] ([`afft_net`]) — the network-facing serving layer: a TCP
+//!   binary-frame front-end over the stream pipeline with
+//!   protocol-level load shedding (`RETRY_AFTER`), buffer recycling,
+//!   graceful drain, an admin stats endpoint, and a loopback client;
 //! * [`obs`] ([`afft_obs`]) — the zero-dependency observability layer:
 //!   log-bucketed latency histograms, sharded lock-free recorders,
 //!   stage timers, named counters, and text/JSON exporters, wired
@@ -62,6 +66,7 @@ pub use afft_baselines as baselines;
 pub use afft_core as core;
 pub use afft_hwmodel as hwmodel;
 pub use afft_isa as isa;
+pub use afft_net as net;
 pub use afft_num as num;
 pub use afft_obs as obs;
 pub use afft_planner as planner;
